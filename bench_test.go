@@ -1,0 +1,132 @@
+package bncg_test
+
+import (
+	"sync"
+	"testing"
+
+	bncg "repro"
+)
+
+// One benchmark per table row and figure of the paper (DESIGN.md §4).
+// Each runs the corresponding experiment harness end to end; the first
+// iteration logs the produced report so `go test -bench . -v` regenerates
+// the paper's tables. A failing shape check fails the benchmark.
+
+var reportOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		rep, err := bncg.Experiment(id, bncg.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.AllPass() {
+			b.Fatalf("experiment %s failed checks: %v", id, rep.FailedChecks())
+		}
+		if _, logged := reportOnce.LoadOrStore(id, true); !logged {
+			b.Logf("\n%s", rep)
+		}
+	}
+}
+
+// Table 1.
+
+func BenchmarkTable1_PS(b *testing.B)   { benchExperiment(b, "T1-PS") }
+func BenchmarkTable1_BSwE(b *testing.B) { benchExperiment(b, "T1-BSwE") }
+func BenchmarkTable1_BGE(b *testing.B)  { benchExperiment(b, "T1-BGE") }
+func BenchmarkTable1_BNE(b *testing.B)  { benchExperiment(b, "T1-BNE") }
+func BenchmarkTable1_3BSE(b *testing.B) { benchExperiment(b, "T1-3BSE") }
+func BenchmarkTable1_BSE(b *testing.B)  { benchExperiment(b, "T1-BSE") }
+
+// Figures.
+
+func BenchmarkFigure1a_Lattice(b *testing.B)    { benchExperiment(b, "F1a") }
+func BenchmarkFigure1b_Venn(b *testing.B)       { benchExperiment(b, "F1b") }
+func BenchmarkFigure2_CorboParkes(b *testing.B) { benchExperiment(b, "F2") }
+func BenchmarkFigure3_Stretched(b *testing.B)   { benchExperiment(b, "F3") }
+func BenchmarkFigure4_Coalition(b *testing.B)   { benchExperiment(b, "F4") }
+func BenchmarkFigure5_BNEGap(b *testing.B)      { benchExperiment(b, "F5") }
+func BenchmarkFigure6_2BSEGap(b *testing.B)     { benchExperiment(b, "F6") }
+func BenchmarkFigure7_kBSEGap(b *testing.B)     { benchExperiment(b, "F7") }
+func BenchmarkFigure8_AddGap(b *testing.B)      { benchExperiment(b, "F8") }
+
+// Propositions, lemmas and supporting experiments.
+
+func BenchmarkLemma24_Cycles(b *testing.B)       { benchExperiment(b, "L2.4") }
+func BenchmarkProp316_LowAlpha(b *testing.B)     { benchExperiment(b, "P3.16") }
+func BenchmarkProp322_NoFlat(b *testing.B)       { benchExperiment(b, "P3.22") }
+func BenchmarkDynamics_Convergence(b *testing.B) { benchExperiment(b, "DYN") }
+
+// Extensions: the open question on general graphs (Section 4), the
+// unilateral-baseline comparison motivating the paper, and the Appendix B
+// structural bounds.
+
+func BenchmarkOpenQuestion_General(b *testing.B) { benchExperiment(b, "OQ-GENERAL") }
+func BenchmarkBaseline_NCGCompare(b *testing.B)  { benchExperiment(b, "NCG-COMPARE") }
+func BenchmarkAppendixB_Bounds(b *testing.B)     { benchExperiment(b, "APP-B") }
+
+// Micro-benchmarks for the primitives the harness leans on.
+
+func BenchmarkCheckPS_Star64(b *testing.B) {
+	gm, err := bncg.NewGame(64, bncg.AlphaInt(3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bncg.Star(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !bncg.Check(gm, g, bncg.PS).Stable {
+			b.Fatal("star unstable")
+		}
+	}
+}
+
+func BenchmarkCheckBNE_Path10(b *testing.B) {
+	gm, err := bncg.NewGame(10, bncg.AlphaInt(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bncg.Path(10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bncg.Check(gm, g, bncg.BNE)
+	}
+}
+
+func BenchmarkCheckBSE_Cycle6(b *testing.B) {
+	gm, err := bncg.NewGame(6, bncg.AlphaInt(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bncg.Cycle(6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !bncg.Check(gm, g, bncg.BSE).Stable {
+			b.Fatal("C6 at α=5 should be in BSE")
+		}
+	}
+}
+
+func BenchmarkTreeRho_100k(b *testing.B) {
+	n := 100_000
+	gm, err := bncg.NewGame(n, bncg.AlphaInt(int64(n)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bncg.AlmostCompleteDAry(n, 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := bncg.TreeRho(gm, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWorstTreePS_n9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := bncg.WorstTree(9, bncg.AlphaInt(9), bncg.PS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

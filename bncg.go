@@ -1,0 +1,199 @@
+package bncg
+
+import (
+	"repro/internal/construct"
+	"repro/internal/core"
+	"repro/internal/dynamics"
+	"repro/internal/eq"
+	"repro/internal/experiments"
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/move"
+	"repro/internal/ncg"
+)
+
+// Core model types.
+type (
+	// Graph is an undirected simple graph on nodes 0..n-1.
+	Graph = graph.Graph
+	// Edge is an undirected edge.
+	Edge = graph.Edge
+	// Alpha is the exact rational edge price α.
+	Alpha = game.Alpha
+	// Game couples an agent count with an edge price.
+	Game = game.Game
+	// Cost is an agent's exact lexicographic cost.
+	Cost = game.Cost
+	// Ownership assigns each edge of a unilateral NCG state to its buyer.
+	Ownership = game.Ownership
+)
+
+// Moves and verdicts.
+type (
+	// Move is a reversible strategy change.
+	Move = move.Move
+	// Remove, Add, Swap, Neighborhood and Coalition are the move kinds of
+	// the solution concepts.
+	Remove       = move.Remove
+	Add          = move.Add
+	Swap         = move.Swap
+	Neighborhood = move.Neighborhood
+	Coalition    = move.Coalition
+	// Concept identifies a solution concept.
+	Concept = eq.Concept
+	// Result is a stability verdict with a violating witness move.
+	Result = eq.Result
+)
+
+// The solution concepts, in the paper's order of increasing cooperation.
+const (
+	RE       = eq.RE
+	BAE      = eq.BAE
+	PS       = eq.PS
+	BSwE     = eq.BSwE
+	BGE      = eq.BGE
+	BNE      = eq.BNE
+	TwoBSE   = eq.TwoBSE
+	ThreeBSE = eq.ThreeBSE
+	BSE      = eq.BSE
+)
+
+// Graph constructors.
+var (
+	// NewGraph returns an empty graph on n nodes.
+	NewGraph = graph.New
+	// FromEdges builds a graph from an edge list.
+	FromEdges = graph.FromEdges
+	// DecodeGraph parses the plain text edge-list format.
+	DecodeGraph = graph.Decode
+	// EncodeGraph renders a graph in the plain text edge-list format.
+	EncodeGraph = graph.Encode
+	// Star and Clique are the social optima for α >= 1 and α < 1.
+	Star   = game.Star
+	Clique = game.Clique
+	// RandomTree and RandomConnectedGraph sample starting states for
+	// dynamics; both take an explicit *rand.Rand for reproducibility.
+	RandomTree           = graph.RandomTree
+	RandomConnectedGraph = graph.RandomConnectedGraph
+	// Path, Cycle and AlmostCompleteDAry are the baseline families.
+	Path               = construct.Path
+	Cycle              = construct.Cycle
+	AlmostCompleteDAry = construct.AlmostCompleteDAry
+	// NewStretched and NewTreeStar build the paper's lower-bound families.
+	NewStretched = construct.NewStretched
+	NewTreeStar  = construct.NewTreeStar
+	// The witness gadgets of Section 2 and Figures 2 and 5–8.
+	NewFigure2 = construct.NewFigure2
+	NewFigure5 = construct.NewFigure5
+	NewFigure6 = construct.NewFigure6
+	NewFigure7 = construct.NewFigure7
+	Figure8    = construct.Figure8
+	// NewDoubleDeep builds the Lemma 3.14 / Figure 4 gadget.
+	NewDoubleDeep = construct.NewDoubleDeep
+	// Spider builds a multi-leg path star.
+	Spider = construct.Spider
+	// The Figure 1a separation witnesses recovered by search.
+	SwapTree           = construct.SwapTree
+	CompleteBipartite  = construct.CompleteBipartite
+	ThreeCoalitionTree = construct.ThreeCoalitionTree
+)
+
+// NewOwnership builds a unilateral NCG edge assignment.
+var NewOwnership = game.NewOwnership
+
+// Game constructors.
+var (
+	// NewGame returns the BNCG on n agents at edge price alpha.
+	NewGame = game.NewGame
+	// NewAlpha returns the exact edge price num/den.
+	NewAlpha = game.NewAlpha
+)
+
+// AlphaInt returns the integer edge price n; it panics for n < 0.
+func AlphaInt(n int64) Alpha { return game.A(n) }
+
+// Alpha2 returns the edge price num/den; it panics on invalid input.
+func Alpha2(num, den int64) Alpha { return game.AFrac(num, den) }
+
+// Unilateral NCG baseline.
+var (
+	// NCGBestResponse computes an exhaustive best response in the
+	// unilateral game.
+	NCGBestResponse = ncg.BestResponse
+	// NCGExistsNEOwnership searches for an edge assignment making a graph
+	// a pure NE of the unilateral game.
+	NCGExistsNEOwnership = ncg.ExistsNEOwnership
+	// NCGCheckGE checks a unilateral Greedy Equilibrium.
+	NCGCheckGE = ncg.CheckGE
+	// NCGTreePoA computes the unilateral NE tree PoA exhaustively.
+	NCGTreePoA = ncg.TreePoA
+)
+
+// Equilibrium checking.
+var (
+	// Check runs the exact checker for a solution concept.
+	Check = eq.Check
+	// Improving reports whether a specific move strictly improves all of
+	// its actors.
+	Improving = eq.Improving
+	// CheckKBSE checks stability against coalitions of size at most k.
+	CheckKBSE = eq.CheckKBSE
+	// CheckUnilateralNE checks a pure NE of the unilateral NCG.
+	CheckUnilateralNE = eq.CheckUnilateralNE
+)
+
+// Price of Anarchy.
+type PoAResult = core.PoAResult
+
+var (
+	// WorstTree computes the exact PoA over all free trees on n nodes.
+	WorstTree = core.WorstTree
+	// WorstGraph computes the exact PoA over all connected graphs.
+	WorstGraph = core.WorstGraph
+	// TreeRho computes ρ(G) for a tree in O(n).
+	TreeRho = core.TreeRho
+)
+
+// Dynamics.
+type (
+	// DynamicsOptions configures improving-response dynamics.
+	DynamicsOptions = dynamics.Options
+	// DynamicsTrace reports a dynamics run.
+	DynamicsTrace = dynamics.Trace
+	// DynamicsKind selects a move family for the dynamics scheduler.
+	DynamicsKind = dynamics.Kind
+)
+
+// The dynamics move families.
+const (
+	RemoveKind = dynamics.RemoveKind
+	AddKind    = dynamics.AddKind
+	SwapKind   = dynamics.SwapKind
+)
+
+var (
+	// RunDynamics applies improving moves until convergence.
+	RunDynamics = dynamics.Run
+)
+
+// Experiments.
+type (
+	// ExperimentReport is the outcome of a paper-reproduction experiment.
+	ExperimentReport = experiments.Report
+	// ExperimentScale selects Quick or Full runs.
+	ExperimentScale = experiments.Scale
+)
+
+// Experiment scales.
+const (
+	Quick = experiments.Quick
+	Full  = experiments.Full
+)
+
+var (
+	// Experiment runs the reproduction experiment with the given ID (see
+	// DESIGN.md §4 for the inventory).
+	Experiment = experiments.Run
+	// ExperimentIDs lists all experiment IDs.
+	ExperimentIDs = experiments.IDs
+)

@@ -1,0 +1,329 @@
+// Command bncg is the CLI for the Bilateral Network Creation Game library:
+// it generates the paper's graph families, checks equilibrium concepts,
+// computes costs and Price-of-Anarchy searches, and runs the
+// paper-reproduction experiments.
+//
+// Usage:
+//
+//	bncg list
+//	bncg experiment <id>|all [-full]
+//	bncg gen <family> [params...]
+//	bncg check -alpha <p[/q]> [-concept <name>] [-file <graph>]
+//	bncg cost -alpha <p[/q]> [-file <graph>]
+//	bncg poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs]
+//
+// Graphs are read in the plain text edge-list format ("n <count>" then one
+// "u v" pair per line); with no -file, standard input is read.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	bncg "repro"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bncg:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa)")
+	}
+	switch args[0] {
+	case "list":
+		return runList(stdout)
+	case "experiment":
+		return runExperiment(args[1:], stdout)
+	case "gen":
+		return runGen(args[1:], stdout)
+	case "check":
+		return runCheck(args[1:], stdin, stdout)
+	case "cost":
+		return runCost(args[1:], stdin, stdout)
+	case "poa":
+		return runPoA(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown subcommand %q", args[0])
+	}
+}
+
+func runList(stdout io.Writer) error {
+	fmt.Fprintln(stdout, "experiments (DESIGN.md §4):")
+	for _, id := range bncg.ExperimentIDs() {
+		fmt.Fprintln(stdout, " ", id)
+	}
+	return nil
+}
+
+func runExperiment(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
+	full := fs.Bool("full", false, "run at full scale (slower, extends sweeps)")
+	// Accept flags before or after the experiment id.
+	var flags, positional []string
+	for _, a := range args {
+		if strings.HasPrefix(a, "-") {
+			flags = append(flags, a)
+		} else {
+			positional = append(positional, a)
+		}
+	}
+	if err := fs.Parse(flags); err != nil {
+		return err
+	}
+	if len(positional) != 1 {
+		return fmt.Errorf("experiment: want exactly one id or 'all'")
+	}
+	scale := bncg.Quick
+	if *full {
+		scale = bncg.Full
+	}
+	ids := positional
+	if positional[0] == "all" {
+		ids = bncg.ExperimentIDs()
+	}
+	failed := 0
+	for _, id := range ids {
+		rep, err := bncg.Experiment(id, scale)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, rep)
+		if !rep.AllPass() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d experiment(s) had failing checks", failed)
+	}
+	return nil
+}
+
+func runGen(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("gen: want a family: star|clique|path|cycle|dary|stretched|treestar")
+	}
+	atoi := func(i int, name string) (int, error) {
+		if i >= len(args) {
+			return 0, fmt.Errorf("gen %s: missing %s", args[0], name)
+		}
+		v, err := strconv.Atoi(args[i])
+		if err != nil {
+			return 0, fmt.Errorf("gen %s: bad %s %q", args[0], name, args[i])
+		}
+		return v, nil
+	}
+	var g *bncg.Graph
+	switch args[0] {
+	case "star", "clique", "path", "cycle":
+		n, err := atoi(1, "node count")
+		if err != nil {
+			return err
+		}
+		switch args[0] {
+		case "star":
+			g = bncg.Star(n)
+		case "clique":
+			g = bncg.Clique(n)
+		case "path":
+			g = bncg.Path(n)
+		case "cycle":
+			g = bncg.Cycle(n)
+		}
+	case "dary":
+		n, err := atoi(1, "node count")
+		if err != nil {
+			return err
+		}
+		d, err := atoi(2, "arity")
+		if err != nil {
+			return err
+		}
+		g = bncg.AlmostCompleteDAry(n, d)
+	case "stretched":
+		d, err := atoi(1, "depth")
+		if err != nil {
+			return err
+		}
+		k, err := atoi(2, "stretch factor")
+		if err != nil {
+			return err
+		}
+		g = bncg.NewStretched(d, k).G
+	case "treestar":
+		k, err := atoi(1, "stretch factor")
+		if err != nil {
+			return err
+		}
+		t, err := atoi(2, "target subtree size")
+		if err != nil {
+			return err
+		}
+		eta, err := atoi(3, "target size")
+		if err != nil {
+			return err
+		}
+		ts, err := bncg.NewTreeStar(k, float64(t), eta)
+		if err != nil {
+			return err
+		}
+		g = ts.G
+	default:
+		return fmt.Errorf("gen: unknown family %q", args[0])
+	}
+	fmt.Fprint(stdout, bncg.EncodeGraph(g))
+	return nil
+}
+
+func parseAlpha(s string) (bncg.Alpha, error) {
+	if s == "" {
+		return bncg.Alpha{}, fmt.Errorf("missing -alpha")
+	}
+	num, den := s, "1"
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, den = s[:i], s[i+1:]
+	}
+	p, err1 := strconv.ParseInt(num, 10, 64)
+	q, err2 := strconv.ParseInt(den, 10, 64)
+	if err1 != nil || err2 != nil {
+		return bncg.Alpha{}, fmt.Errorf("bad alpha %q (want p or p/q)", s)
+	}
+	return bncg.NewAlpha(p, q)
+}
+
+func parseConcept(s string) (bncg.Concept, error) {
+	concepts := map[string]bncg.Concept{
+		"RE": bncg.RE, "BAE": bncg.BAE, "PS": bncg.PS, "BSwE": bncg.BSwE,
+		"BGE": bncg.BGE, "BNE": bncg.BNE, "2-BSE": bncg.TwoBSE,
+		"3-BSE": bncg.ThreeBSE, "BSE": bncg.BSE,
+	}
+	c, ok := concepts[s]
+	if !ok {
+		return 0, fmt.Errorf("unknown concept %q (want RE, BAE, PS, BSwE, BGE, BNE, 2-BSE, 3-BSE, BSE)", s)
+	}
+	return c, nil
+}
+
+func readGraph(file string, stdin io.Reader) (*bncg.Graph, error) {
+	var data []byte
+	var err error
+	if file == "" {
+		data, err = io.ReadAll(stdin)
+	} else {
+		data, err = os.ReadFile(file)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return bncg.DecodeGraph(string(data))
+}
+
+func runCheck(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("check", flag.ContinueOnError)
+	alphaStr := fs.String("alpha", "", "edge price p or p/q")
+	conceptStr := fs.String("concept", "", "single concept to check (default: all)")
+	file := fs.String("file", "", "graph file (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alpha, err := parseAlpha(*alphaStr)
+	if err != nil {
+		return err
+	}
+	g, err := readGraph(*file, stdin)
+	if err != nil {
+		return err
+	}
+	gm, err := bncg.NewGame(g.N(), alpha)
+	if err != nil {
+		return err
+	}
+	concepts := []bncg.Concept{bncg.RE, bncg.BAE, bncg.PS, bncg.BSwE, bncg.BGE, bncg.BNE, bncg.TwoBSE, bncg.ThreeBSE, bncg.BSE}
+	if *conceptStr != "" {
+		c, err := parseConcept(*conceptStr)
+		if err != nil {
+			return err
+		}
+		concepts = []bncg.Concept{c}
+	}
+	for _, c := range concepts {
+		res := bncg.Check(gm, g, c)
+		if res.Stable {
+			fmt.Fprintf(stdout, "%-6s stable\n", c)
+		} else {
+			fmt.Fprintf(stdout, "%-6s UNSTABLE: %v\n", c, res.Witness)
+		}
+	}
+	return nil
+}
+
+func runCost(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cost", flag.ContinueOnError)
+	alphaStr := fs.String("alpha", "", "edge price p or p/q")
+	file := fs.String("file", "", "graph file (default: stdin)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alpha, err := parseAlpha(*alphaStr)
+	if err != nil {
+		return err
+	}
+	g, err := readGraph(*file, stdin)
+	if err != nil {
+		return err
+	}
+	gm, err := bncg.NewGame(g.N(), alpha)
+	if err != nil {
+		return err
+	}
+	for u := 0; u < g.N(); u++ {
+		c := gm.AgentCost(g, u)
+		fmt.Fprintf(stdout, "agent %d: %v (= %.3f)\n", u, c, c.Value(alpha))
+	}
+	total := gm.SocialCost(g)
+	fmt.Fprintf(stdout, "social cost: %.3f  OPT: %.3f  rho: %.4f\n",
+		total.Value(alpha), gm.OptCost().Value(alpha), gm.Rho(g))
+	return nil
+}
+
+func runPoA(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("poa", flag.ContinueOnError)
+	n := fs.Int("n", 8, "number of agents")
+	alphaStr := fs.String("alpha", "", "edge price p or p/q")
+	conceptStr := fs.String("concept", "PS", "solution concept")
+	graphs := fs.Bool("graphs", false, "search all connected graphs instead of trees")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	alpha, err := parseAlpha(*alphaStr)
+	if err != nil {
+		return err
+	}
+	c, err := parseConcept(*conceptStr)
+	if err != nil {
+		return err
+	}
+	var res bncg.PoAResult
+	if *graphs {
+		res, err = bncg.WorstGraph(*n, alpha, c)
+	} else {
+		res, err = bncg.WorstTree(*n, alpha, c)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "n=%d α=%s %s: worst ρ = %.4f over %d equilibria of %d candidates\n",
+		*n, alpha, c, res.Rho, res.Equilibria, res.Candidates)
+	if res.Witness != nil {
+		fmt.Fprintf(stdout, "witness: %s\n", res.Witness)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, stdin string, args ...string) (string, error) {
+	t.Helper()
+	var out bytes.Buffer
+	err := run(args, strings.NewReader(stdin), &out)
+	return out.String(), err
+}
+
+func TestList(t *testing.T) {
+	out, err := runCLI(t, "", "list")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"T1-PS", "F1a", "L2.4"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenAndCheckPipe(t *testing.T) {
+	graphText, err := runCLI(t, "", "gen", "star", "6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, graphText, "check", "-alpha", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "UNSTABLE") {
+		t.Fatalf("star should be stable everywhere at α=2:\n%s", out)
+	}
+	out, err = runCLI(t, graphText, "check", "-alpha", "1/2", "-concept", "BAE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "UNSTABLE") {
+		t.Fatalf("star at α=1/2 should fail BAE:\n%s", out)
+	}
+}
+
+func TestGenFamilies(t *testing.T) {
+	for _, tc := range [][]string{
+		{"gen", "clique", "4"},
+		{"gen", "path", "5"},
+		{"gen", "cycle", "5"},
+		{"gen", "dary", "10", "3"},
+		{"gen", "stretched", "2", "2"},
+		{"gen", "treestar", "1", "7", "30"},
+	} {
+		out, err := runCLI(t, "", tc...)
+		if err != nil {
+			t.Fatalf("%v: %v", tc, err)
+		}
+		if !strings.HasPrefix(out, "n ") {
+			t.Fatalf("%v: output not in edge-list format:\n%s", tc, out)
+		}
+	}
+}
+
+func TestCost(t *testing.T) {
+	graphText, err := runCLI(t, "", "gen", "star", "5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := runCLI(t, graphText, "cost", "-alpha", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "rho: 1.0000") {
+		t.Fatalf("star should be optimal at α=3:\n%s", out)
+	}
+}
+
+func TestPoA(t *testing.T) {
+	out, err := runCLI(t, "", "poa", "-n", "6", "-alpha", "4", "-concept", "PS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "worst ρ") || !strings.Contains(out, "witness") {
+		t.Fatalf("poa output:\n%s", out)
+	}
+}
+
+func TestExperimentCommand(t *testing.T) {
+	out, err := runCLI(t, "", "experiment", "F3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "[PASS]") {
+		t.Fatalf("experiment output:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"bogus"},
+		{"gen"},
+		{"gen", "star"},
+		{"gen", "star", "x"},
+		{"gen", "nope", "5"},
+		{"check", "-alpha", "zzz"},
+		{"check"},
+		{"poa", "-alpha", "2", "-concept", "nope"},
+		{"experiment"},
+		{"experiment", "nope"},
+	}
+	for _, tc := range cases {
+		if _, err := runCLI(t, "", tc...); err == nil {
+			t.Fatalf("args %v: expected error", tc)
+		}
+	}
+}

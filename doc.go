@@ -1,0 +1,32 @@
+// Package bncg is a library for the Bilateral Network Creation Game of
+// Corbo and Parkes, reproducing "The Impact of Cooperation in Bilateral
+// Network Creation" (Friedrich, Gawendowicz, Lenzner, Zahn; PODC 2023).
+//
+// Agents are nodes of an undirected graph; an edge exists only if both
+// endpoints pay the edge price α for it. Each agent minimizes
+// α·(edges bought) + Σ_v dist(u, v). The library provides:
+//
+//   - exact, witness-producing equilibrium checkers for every solution
+//     concept of the paper: RE, BAE, PS, BSwE, BGE, BNE, k-BSE and BSE,
+//     plus the unilateral NCG's RE/AE/NE for the Section 2 comparisons;
+//   - exact rational cost arithmetic (no floating point in stability
+//     decisions) with the paper's disconnection semantics;
+//   - the lower-bound constructions: stretched binary trees, stretched
+//     tree stars, d-ary trees, cycles and the witness gadgets of
+//     Figures 2 and 5–8;
+//   - Price-of-Anarchy machinery: closed-form bounds of Sections 3.2–3.3
+//     and exhaustive worst-case search over all small trees and graphs;
+//   - improving-response dynamics converging to PS/BGE states;
+//   - one experiment runner per table row and figure of the paper
+//     (package repro/internal/experiments, surfaced via Experiment).
+//
+// # Quick start
+//
+//	gm, _ := bncg.NewGame(6, bncg.Alpha2(3, 1)) // 6 agents, α = 3
+//	star := bncg.Star(6)
+//	res := bncg.Check(gm, star, bncg.PS)        // res.Stable == true
+//	rho := gm.Rho(star)                          // 1.0: the social optimum
+//
+// See the examples directory for runnable programs and EXPERIMENTS.md for
+// the recorded reproduction results.
+package bncg

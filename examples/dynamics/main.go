@@ -1,0 +1,61 @@
+// Dynamics: watch selfish agents form a network. Starting from a random
+// connected graph, agents repeatedly perform strictly improving removals,
+// bilateral additions and swaps until the network is a Bilateral Greedy
+// Equilibrium, then the final state is verified with the exact checker.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	bncg "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	const (
+		n       = 12
+		seed    = 2023 // PODC 2023
+		samples = 6
+	)
+	rng := rand.New(rand.NewSource(seed))
+	gm, err := bncg.NewGame(n, bncg.AlphaInt(4))
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("improving-response dynamics to BGE: n=%d, α=%s\n\n", n, gm.Alpha)
+	for i := 0; i < samples; i++ {
+		m := n - 1 + rng.Intn(n)
+		g, err := bncg.RandomConnectedGraph(n, m, rng)
+		if err != nil {
+			return err
+		}
+		startRho := gm.Rho(g)
+		tr, err := bncg.RunDynamics(gm, g, bncg.DynamicsOptions{
+			Kinds: []bncg.DynamicsKind{bncg.RemoveKind, bncg.AddKind, bncg.SwapKind},
+			Rng:   rng,
+		})
+		if err != nil {
+			return err
+		}
+		verified := bncg.Check(gm, g, bncg.BGE).Stable
+		fmt.Printf("run %d: m0=%-2d  ρ %.3f -> %.3f in %2d moves (converged=%v, exact BGE=%v)\n",
+			i+1, m, startRho, gm.Rho(g), tr.Steps, tr.Converged, verified)
+		if tr.Steps > 0 {
+			fmt.Printf("       first move: %v, last move: %v\n",
+				tr.History[0], tr.History[len(tr.History)-1])
+		}
+	}
+
+	fmt.Println("\nobservation: the dynamics land on near-optimal equilibria (ρ close")
+	fmt.Println("to 1) even though the worst-case PS PoA at this α is much higher —")
+	fmt.Println("run `bncg poa -n 10 -alpha 4 -concept PS` to compare.")
+	return nil
+}

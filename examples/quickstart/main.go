@@ -1,0 +1,61 @@
+// Quickstart: build a few networks, compute agent costs and the social
+// cost ratio, and check which solution concepts each network satisfies.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bncg "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// n = 6 keeps the exact BSE check on the clique instantaneous; the
+	// coalition move space grows as 2^(edges touching the coalition).
+	const n = 6
+	gm, err := bncg.NewGame(n, bncg.AlphaInt(3)) // 6 agents, edge price α = 3
+	if err != nil {
+		return err
+	}
+
+	networks := []struct {
+		name string
+		g    *bncg.Graph
+	}{
+		{name: "star (the social optimum for α ≥ 1)", g: bncg.Star(n)},
+		{name: "path", g: bncg.Path(n)},
+		{name: "cycle", g: bncg.Cycle(n)},
+		{name: "clique", g: bncg.Clique(n)},
+	}
+	concepts := []bncg.Concept{bncg.RE, bncg.BAE, bncg.PS, bncg.BSwE, bncg.BGE, bncg.BNE, bncg.ThreeBSE, bncg.BSE}
+
+	for _, nw := range networks {
+		fmt.Printf("%s\n  %s\n", nw.name, nw.g)
+		center := gm.AgentCost(nw.g, 0)
+		fmt.Printf("  agent 0 cost: buys %d edges, total distance %d (scalar %.1f)\n",
+			center.Buy, center.Dist, center.Value(gm.Alpha))
+		fmt.Printf("  social cost ratio ρ = %.3f\n", gm.Rho(nw.g))
+		fmt.Print("  stable for: ")
+		for _, c := range concepts {
+			if bncg.Check(gm, nw.g, c).Stable {
+				fmt.Printf("%s ", c)
+			}
+		}
+		fmt.Println()
+		// Show the violating move for the weakest failed concept.
+		for _, c := range concepts {
+			if res := bncg.Check(gm, nw.g, c); !res.Stable {
+				fmt.Printf("  first violation (%s): %v\n", c, res.Witness)
+				break
+			}
+		}
+		fmt.Println()
+	}
+	return nil
+}

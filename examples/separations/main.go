@@ -1,0 +1,94 @@
+// Separations: reproduce the witness gadgets that make the solution
+// concept lattice of Figure 1a proper — including the refutation of the
+// Corbo–Parkes conjecture (Proposition 2.3).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	bncg "repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run() error {
+	// 1. Corbo–Parkes refutation: unilateral NE but not pairwise stable.
+	f2 := bncg.NewFigure2()
+	gm2, err := bncg.NewGame(f2.G.N(), bncg.AlphaInt(2))
+	if err != nil {
+		return err
+	}
+	o, err := bncg.NewOwnership(f2.G, f2.Owner)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Proposition 2.3 (Figure 2): the Corbo–Parkes conjecture is false")
+	fmt.Printf("  graph: %s at α=2\n", f2.G)
+	fmt.Printf("  unilateral NE: %v\n", bncg.CheckUnilateralNE(gm2, f2.G, o).Stable)
+	ps := bncg.Check(gm2, f2.G, bncg.PS)
+	fmt.Printf("  pairwise stable: %v (bilateral move: %v)\n\n", ps.Stable, ps.Witness)
+
+	// 2. BGE ⊊ PS: a tree where only a swap improves.
+	st := bncg.SwapTree()
+	gmS, err := bncg.NewGame(st.N(), bncg.AlphaInt(12))
+	if err != nil {
+		return err
+	}
+	sw := bncg.Check(gmS, st, bncg.BSwE)
+	fmt.Println("BGE ⊊ PS: the swap tree at α=12")
+	fmt.Printf("  PS: %v, BSwE: %v (swap: %v)\n\n",
+		bncg.Check(gmS, st, bncg.PS).Stable, sw.Stable, sw.Witness)
+
+	// 3. 2-BSE ⊊ BGE: K_{2,4} at α=5/4.
+	k24 := bncg.CompleteBipartite(2, 4)
+	gmK, err := bncg.NewGame(k24.N(), bncg.Alpha2(5, 4))
+	if err != nil {
+		return err
+	}
+	two := bncg.Check(gmK, k24, bncg.TwoBSE)
+	fmt.Println("2-BSE ⊊ BGE: K_{2,4} at α=5/4")
+	fmt.Printf("  BGE: %v, 2-BSE: %v (coalition: %v)\n\n",
+		bncg.Check(gmK, k24, bncg.BGE).Stable, two.Stable, two.Witness)
+
+	// 4. 3-BSE ⊊ 2-BSE: the path-into-star tree at α=17/4.
+	tct := bncg.ThreeCoalitionTree()
+	gmT, err := bncg.NewGame(tct.N(), bncg.Alpha2(17, 4))
+	if err != nil {
+		return err
+	}
+	three := bncg.Check(gmT, tct, bncg.ThreeBSE)
+	fmt.Println("3-BSE ⊊ 2-BSE: the three-coalition tree at α=17/4")
+	fmt.Printf("  2-BSE: %v, 3-BSE: %v (coalition: %v)\n\n",
+		bncg.Check(gmT, tct, bncg.TwoBSE).Stable, three.Stable, three.Witness)
+
+	// 5. BNE and k-BSE are incomparable: Figure 6 vs Figure 7.
+	f6 := bncg.NewFigure6()
+	gm6, err := bncg.NewGame(f6.G.N(), bncg.AlphaInt(7))
+	if err != nil {
+		return err
+	}
+	fmt.Println("BNE vs 2-BSE are incomparable:")
+	fmt.Printf("  Figure 6 (α=7):  BNE=%v 2-BSE=%v\n",
+		bncg.Check(gm6, f6.G, bncg.BNE).Stable,
+		bncg.Check(gm6, f6.G, bncg.TwoBSE).Stable)
+	f7 := bncg.NewFigure7(4)
+	gm7, err := bncg.NewGame(f7.G.N(), bncg.AlphaInt(f7.AlphaNum()))
+	if err != nil {
+		return err
+	}
+	hubMove := bncg.Neighborhood{
+		U:        f7.A,
+		RemoveTo: append([]int(nil), f7.B...),
+		AddTo:    append([]int(nil), f7.C...),
+	}
+	fmt.Printf("  Figure 7 (α=%d): BNE-violating hub move improves=%v 2-BSE=%v\n",
+		f7.AlphaNum(),
+		bncg.Improving(gm7, f7.G, hubMove),
+		bncg.Check(gm7, f7.G, bncg.TwoBSE).Stable)
+	return nil
+}

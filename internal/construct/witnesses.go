@@ -1,0 +1,47 @@
+package construct
+
+import (
+	"repro/internal/graph"
+)
+
+// Separation witnesses recovered by exhaustive and randomized search (see
+// the F1a experiment). Each makes one inclusion of Figure 1a proper; all
+// are verified by the exact checkers in tests and experiments.
+
+// SwapTree is a 10-node tree that is in PS (trees are always in RE, and no
+// bilateral addition pays off at α = 12) but not in BSwE: agent 1 swaps
+// its edge to 3 for an edge to 0, improving both 1 and 0. It separates
+// BGE ⊊ PS and inhabits the Figure 1b region RE ∧ BAE ∧ ¬BSwE.
+func SwapTree() *graph.Graph {
+	return graph.MustFromEdges(10, []graph.Edge{
+		{U: 0, V: 4}, {U: 0, V: 7}, {U: 1, V: 3}, {U: 1, V: 5}, {U: 1, V: 9},
+		{U: 2, V: 9}, {U: 3, V: 6}, {U: 4, V: 6}, {U: 5, V: 8},
+	})
+}
+
+// SwapTreeAlphaNum is the integer edge price at which SwapTree separates.
+const SwapTreeAlphaNum = 12
+
+// CompleteBipartite returns K_{a,b} with part A = {0..a-1}. At α = 5/4,
+// K_{2,4} is in BGE but not in 2-BSE: the hub coalition {0, 1} drops two
+// spoke edges each (0-4, 0-5, 1-2, 1-3) and adds the direct edge 0-1,
+// separating 2-BSE ⊊ BGE.
+func CompleteBipartite(a, b int) *graph.Graph {
+	g := graph.New(a + b)
+	for u := 0; u < a; u++ {
+		for v := a; v < a+b; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}
+
+// ThreeCoalitionTree is a 7-node tree (a path 0-1-2-3 into a star at 3)
+// that is in 2-BSE at α = 17/4 but not in 3-BSE: the coalition {0, 2, 3}
+// removes 1-2 and 2-3 while adding 0-2 and 0-3, separating 3-BSE ⊊ 2-BSE.
+func ThreeCoalitionTree() *graph.Graph {
+	return graph.MustFromEdges(7, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3},
+		{U: 3, V: 4}, {U: 3, V: 5}, {U: 3, V: 6},
+	})
+}

@@ -1,0 +1,87 @@
+// Package core implements the paper's primary quantitative object — the
+// Price of Anarchy of the Bilateral Network Creation Game under each
+// solution concept — together with the closed-form bounds of Sections 3.2
+// and 3.3 and exhaustive worst-case searches over small instances.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// PoAResult is the outcome of a worst-case search: the maximal social cost
+// ratio over all checked equilibria, its witness, and how many graphs were
+// equilibria out of how many candidates.
+type PoAResult struct {
+	// Rho is the worst (maximal) social cost ratio found; 0 if no
+	// equilibrium exists among the candidates.
+	Rho float64
+	// Witness attains Rho (nil if no equilibrium was found).
+	Witness *graph.Graph
+	// Equilibria and Candidates count the stable graphs and all graphs
+	// examined.
+	Equilibria, Candidates int
+}
+
+// WorstTree exhaustively computes the PoA restricted to tree equilibria:
+// the maximal ρ over all free trees on n nodes that are stable for the
+// concept at price alpha. Exact for every concept; the BSE/BNE checkers
+// bound the practical n (see package eq).
+func WorstTree(n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
+	gm, err := game.NewGame(n, alpha)
+	if err != nil {
+		return PoAResult{}, err
+	}
+	var res PoAResult
+	res.Candidates = graph.FreeTrees(n, func(g *graph.Graph) {
+		if !eq.Check(gm, g, concept).Stable {
+			return
+		}
+		res.Equilibria++
+		if rho := gm.Rho(g); rho > res.Rho {
+			res.Rho = rho
+			res.Witness = g
+		}
+	})
+	return res, nil
+}
+
+// WorstGraph exhaustively computes the PoA over all connected graphs on n
+// nodes (up to isomorphism) stable for the concept at price alpha.
+// Intended for n <= 6.
+func WorstGraph(n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
+	gm, err := game.NewGame(n, alpha)
+	if err != nil {
+		return PoAResult{}, err
+	}
+	var res PoAResult
+	res.Candidates = graph.Enumerate(n, graph.EnumOptions{
+		ConnectedOnly: true,
+		UpToIso:       true,
+		MaxEdges:      -1,
+	}, func(g *graph.Graph) {
+		if !eq.Check(gm, g, concept).Stable {
+			return
+		}
+		res.Equilibria++
+		if rho := gm.Rho(g); rho > res.Rho {
+			res.Rho = rho
+			res.Witness = g
+		}
+	})
+	return res, nil
+}
+
+// RhoOfFamily evaluates ρ for a constructed family member, checking
+// stability with the supplied certifier (exact checker or analytic lemma).
+// It returns an error when the certifier rejects the graph, so experiments
+// cannot silently report ratios of non-equilibria.
+func RhoOfFamily(gm game.Game, g *graph.Graph, certified bool, label string) (float64, error) {
+	if !certified {
+		return 0, fmt.Errorf("core: %s is not certified stable at α=%s, n=%d", label, gm.Alpha, gm.N)
+	}
+	return gm.Rho(g), nil
+}

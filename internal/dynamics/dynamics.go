@@ -1,0 +1,178 @@
+// Package dynamics implements improving-response dynamics for the BNCG:
+// agents (and pairs of agents) repeatedly perform strictly improving
+// removals, bilateral additions and swaps until no such move exists. The
+// fixed points are exactly the PS / BGE states for the respective move
+// sets, which lets experiments sample equilibria instead of enumerating
+// them.
+package dynamics
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/move"
+)
+
+// Kind selects a move family for the scheduler.
+type Kind int
+
+// The move families of the weak solution concepts.
+const (
+	RemoveKind Kind = iota + 1
+	AddKind
+	SwapKind
+)
+
+// Options configures a dynamics run.
+type Options struct {
+	// Kinds are the move families agents may use. {Remove, Add} converges
+	// to PS; {Remove, Add, Swap} to BGE.
+	Kinds []Kind
+	// MaxSteps bounds the number of applied moves (0 means 10·n·n).
+	MaxSteps int
+	// Rng randomizes the move scan order; it must be non-nil.
+	Rng *rand.Rand
+}
+
+// Trace reports a dynamics run.
+type Trace struct {
+	// Steps is the number of improving moves applied.
+	Steps int
+	// Converged reports whether no improving move remained (as opposed to
+	// hitting MaxSteps).
+	Converged bool
+	// History records the applied moves in order.
+	History []move.Move
+}
+
+// Run mutates g by applying improving moves until convergence or the step
+// bound. It returns the trace; g holds the final state.
+func Run(gm game.Game, g *graph.Graph, opts Options) (Trace, error) {
+	if opts.Rng == nil {
+		return Trace{}, fmt.Errorf("dynamics: Options.Rng must be set")
+	}
+	if len(opts.Kinds) == 0 {
+		return Trace{}, fmt.Errorf("dynamics: Options.Kinds must not be empty")
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 10 * g.N() * g.N()
+	}
+	var tr Trace
+	for tr.Steps < maxSteps {
+		m, ok := findImproving(gm, g, opts)
+		if !ok {
+			tr.Converged = true
+			return tr, nil
+		}
+		if _, err := m.Apply(g); err != nil {
+			return tr, fmt.Errorf("dynamics: applying %v: %w", m, err)
+		}
+		tr.History = append(tr.History, m)
+		tr.Steps++
+	}
+	// One final scan decides whether we stopped exactly at a fixed point.
+	_, more := findImproving(gm, g, opts)
+	tr.Converged = !more
+	return tr, nil
+}
+
+// findImproving scans the allowed move families in random order and
+// returns the first strictly improving move.
+func findImproving(gm game.Game, g *graph.Graph, opts Options) (move.Move, bool) {
+	candidates := collectMoves(g, opts)
+	opts.Rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	for _, m := range candidates {
+		if eq.Improving(gm, g, m) {
+			return m, true
+		}
+	}
+	return nil, false
+}
+
+func collectMoves(g *graph.Graph, opts Options) []move.Move {
+	var moves []move.Move
+	for _, k := range opts.Kinds {
+		switch k {
+		case RemoveKind:
+			for _, e := range g.Edges() {
+				moves = append(moves, move.Remove{U: e.U, V: e.V}, move.Remove{U: e.V, V: e.U})
+			}
+		case AddKind:
+			for u := 0; u < g.N(); u++ {
+				for v := u + 1; v < g.N(); v++ {
+					if !g.HasEdge(u, v) {
+						moves = append(moves, move.Add{U: u, V: v})
+					}
+				}
+			}
+		case SwapKind:
+			for u := 0; u < g.N(); u++ {
+				for _, v := range g.Neighbors(u) {
+					for w := 0; w < g.N(); w++ {
+						if w != u && w != v && !g.HasEdge(u, w) {
+							moves = append(moves, move.Swap{U: u, Old: v, New: w})
+						}
+					}
+				}
+			}
+		}
+	}
+	return moves
+}
+
+// SampleStat summarizes sampled-equilibrium social cost ratios.
+type SampleStat struct {
+	Samples      int
+	Converged    int
+	MeanRho      float64
+	WorstRho     float64
+	MeanSteps    float64
+	Disconnected int
+}
+
+// Sample runs the dynamics from `samples` random connected starting graphs
+// on n nodes and summarizes the resulting equilibrium quality.
+func Sample(gm game.Game, n, samples int, opts Options) (SampleStat, error) {
+	var st SampleStat
+	for i := 0; i < samples; i++ {
+		m := n - 1 + opts.Rng.Intn(n)
+		if max := n * (n - 1) / 2; m > max {
+			m = max
+		}
+		g, err := graph.RandomConnectedGraph(n, m, opts.Rng)
+		if err != nil {
+			return st, err
+		}
+		tr, err := Run(gm, g, opts)
+		if err != nil {
+			return st, err
+		}
+		st.Samples++
+		st.MeanSteps += float64(tr.Steps)
+		if tr.Converged {
+			st.Converged++
+		}
+		if !g.Connected() {
+			st.Disconnected++
+			continue
+		}
+		rho := gm.Rho(g)
+		st.MeanRho += rho
+		if rho > st.WorstRho {
+			st.WorstRho = rho
+		}
+	}
+	if st.Samples > 0 {
+		st.MeanSteps /= float64(st.Samples)
+	}
+	if connectedSamples := st.Samples - st.Disconnected; connectedSamples > 0 {
+		st.MeanRho /= float64(connectedSamples)
+	}
+	return st, nil
+}

@@ -1,0 +1,120 @@
+package dynamics
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+func TestRunValidation(t *testing.T) {
+	gm, _ := game.NewGame(4, game.A(2))
+	g := game.Star(4)
+	if _, err := Run(gm, g, Options{Kinds: []Kind{AddKind}}); err == nil {
+		t.Fatal("nil Rng accepted")
+	}
+	if _, err := Run(gm, g, Options{Rng: rand.New(rand.NewSource(1))}); err == nil {
+		t.Fatal("empty kinds accepted")
+	}
+}
+
+func TestStarIsFixedPoint(t *testing.T) {
+	gm, _ := game.NewGame(6, game.A(2))
+	g := game.Star(6)
+	tr, err := Run(gm, g, Options{
+		Kinds: []Kind{RemoveKind, AddKind, SwapKind},
+		Rng:   rand.New(rand.NewSource(2)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Converged || tr.Steps != 0 {
+		t.Fatalf("star should be an immediate fixed point: %+v", tr)
+	}
+}
+
+// TestFixedPointsAreEquilibria: whatever graph the dynamics stop on passes
+// the exact checker matching the move set.
+func TestFixedPointsAreEquilibria(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + rng.Intn(4)
+		gm, _ := game.NewGame(n, game.AFrac(int64(2+rng.Intn(10)), 2))
+		g, err := graph.RandomConnectedGraph(n, n+rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psOnly := rng.Intn(2) == 0
+		kinds := []Kind{RemoveKind, AddKind}
+		if !psOnly {
+			kinds = append(kinds, SwapKind)
+		}
+		tr, err := Run(gm, g, Options{Kinds: kinds, Rng: rng})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tr.Converged {
+			t.Fatalf("dynamics did not converge in %d steps (α=%s)", tr.Steps, gm.Alpha)
+		}
+		if psOnly {
+			if r := eq.CheckPS(gm, g); !r.Stable {
+				t.Fatalf("PS fixed point fails exact check: %v", r.Witness)
+			}
+		} else if r := eq.CheckBGE(gm, g); !r.Stable {
+			t.Fatalf("BGE fixed point fails exact check: %v", r.Witness)
+		}
+	}
+}
+
+func TestHistoryMatchesSteps(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	gm, _ := game.NewGame(8, game.A(3))
+	g, err := graph.RandomConnectedGraph(8, 14, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Run(gm, g, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.History) != tr.Steps {
+		t.Fatalf("history length %d != steps %d", len(tr.History), tr.Steps)
+	}
+}
+
+func TestSampleSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	gm, _ := game.NewGame(8, game.A(2))
+	st, err := Sample(gm, 8, 10, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 10 || st.Converged != 10 {
+		t.Fatalf("sample stats: %+v", st)
+	}
+	if st.MeanRho < 1 || st.WorstRho < st.MeanRho {
+		t.Fatalf("implausible ρ stats: %+v", st)
+	}
+}
+
+// TestDynamicsKeepConnectivity: improving moves never disconnect the graph
+// (disconnection is lexicographically catastrophic for the mover).
+func TestDynamicsKeepConnectivity(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 10; trial++ {
+		n := 7
+		gm, _ := game.NewGame(n, game.AFrac(int64(1+rng.Intn(8)), 2))
+		g, err := graph.RandomConnectedGraph(n, n+2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Run(gm, g, Options{Kinds: []Kind{RemoveKind, AddKind, SwapKind}, Rng: rng}); err != nil {
+			t.Fatal(err)
+		}
+		if !g.Connected() {
+			t.Fatalf("dynamics disconnected the graph: %s", g)
+		}
+	}
+}

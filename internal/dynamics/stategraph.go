@@ -1,0 +1,138 @@
+package dynamics
+
+import (
+	"fmt"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// StateGraphResult summarizes the improving-move digraph over all labeled
+// graphs on n nodes: states are graphs, arcs are strictly improving moves
+// of the selected kinds.
+type StateGraphResult struct {
+	// States is the number of labeled graphs (2^(n(n-1)/2)).
+	States int
+	// Sinks is the number of states with no outgoing improving move, i.e.
+	// the equilibria of the move set.
+	Sinks int
+	// Acyclic reports whether the digraph has no directed cycle; if true,
+	// every improving-response sequence terminates (a generalized ordinal
+	// potential exists).
+	Acyclic bool
+	// CycleWitness is a state on a directed cycle when Acyclic is false.
+	CycleWitness *graph.Graph
+}
+
+// AnalyzeStateGraph builds the full improving-move digraph for the BNCG on
+// n agents at price alpha and checks it for cycles. Exponential in the
+// number of node pairs; intended for n <= 5 (2^10 states).
+func AnalyzeStateGraph(n int, alpha game.Alpha, kinds []Kind) (StateGraphResult, error) {
+	pairs := n * (n - 1) / 2
+	if pairs > 16 {
+		return StateGraphResult{}, fmt.Errorf("dynamics: state graph on n=%d is too large (2^%d states)", n, pairs)
+	}
+	gm, err := game.NewGame(n, alpha)
+	if err != nil {
+		return StateGraphResult{}, err
+	}
+	total := 1 << pairs
+	// succ[s] lists the successor states reachable by one improving move.
+	succ := make([][]int, total)
+	res := StateGraphResult{States: total}
+	for s := 0; s < total; s++ {
+		g := stateToGraph(n, s)
+		for _, m := range collectMoves(g, Options{Kinds: kinds}) {
+			if !eq.Improving(gm, g, m) {
+				continue
+			}
+			undo, err := m.Apply(g)
+			if err != nil {
+				return res, fmt.Errorf("dynamics: applying %v: %w", m, err)
+			}
+			succ[s] = append(succ[s], graphToState(g))
+			undo()
+		}
+		if len(succ[s]) == 0 {
+			res.Sinks++
+		}
+	}
+	if cycleState, acyclic := findCycle(succ); !acyclic {
+		res.CycleWitness = stateToGraph(n, cycleState)
+	} else {
+		res.Acyclic = true
+	}
+	return res, nil
+}
+
+// stateToGraph decodes a bitmask over the node pairs (lexicographic order)
+// into a graph.
+func stateToGraph(n, state int) *graph.Graph {
+	g := graph.New(n)
+	bit := 0
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if state&(1<<bit) != 0 {
+				g.AddEdge(u, v)
+			}
+			bit++
+		}
+	}
+	return g
+}
+
+func graphToState(g *graph.Graph) int {
+	state := 0
+	bit := 0
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) {
+				state |= 1 << bit
+			}
+			bit++
+		}
+	}
+	return state
+}
+
+// findCycle runs an iterative three-color DFS over the successor lists and
+// returns (stateOnCycle, false) when a back edge exists, or (0, true) when
+// the digraph is acyclic.
+func findCycle(succ [][]int) (int, bool) {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make([]byte, len(succ))
+	type frame struct {
+		state int
+		next  int
+	}
+	for start := range succ {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{state: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			top := &stack[len(stack)-1]
+			if top.next < len(succ[top.state]) {
+				child := succ[top.state][top.next]
+				top.next++
+				switch color[child] {
+				case white:
+					color[child] = gray
+					stack = append(stack, frame{state: child})
+				case gray:
+					return child, false
+				}
+				continue
+			}
+			color[top.state] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return 0, true
+}

@@ -1,0 +1,137 @@
+package eq
+
+import (
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/move"
+)
+
+// CheckRE reports whether g is a Remove Equilibrium: no agent strictly
+// improves by removing a single incident edge.
+func CheckRE(gm game.Game, g *graph.Graph) Result {
+	c := newChecker(gm, g)
+	for _, e := range g.Edges() {
+		for _, u := range []int{e.U, e.V} {
+			m := move.Remove{U: u, V: e.Other(u)}
+			if c.tryMove(m) {
+				return unstable(m)
+			}
+		}
+	}
+	return stable()
+}
+
+// CheckBAE reports whether g is a Bilateral Add Equilibrium: no two agents
+// both strictly improve by jointly adding the edge between them.
+func CheckBAE(gm game.Game, g *graph.Graph) Result {
+	c := newChecker(gm, g)
+	for u := 0; u < g.N(); u++ {
+		for v := u + 1; v < g.N(); v++ {
+			if g.HasEdge(u, v) {
+				continue
+			}
+			m := move.Add{U: u, V: v}
+			if c.tryMove(m) {
+				return unstable(m)
+			}
+		}
+	}
+	return stable()
+}
+
+// CheckPS reports Pairwise Stability: RE and BAE.
+func CheckPS(gm game.Game, g *graph.Graph) Result {
+	if r := CheckRE(gm, g); !r.Stable {
+		return r
+	}
+	return CheckBAE(gm, g)
+}
+
+// CheckBSwE reports whether g is a Bilateral Swap Equilibrium: no agent u
+// with neighbor v and non-neighbor w such that swapping uv for uw strictly
+// improves both u and w.
+func CheckBSwE(gm game.Game, g *graph.Graph) Result {
+	c := newChecker(gm, g)
+	for u := 0; u < g.N(); u++ {
+		neighbors := append([]int(nil), g.Neighbors(u)...)
+		for _, v := range neighbors {
+			for w := 0; w < g.N(); w++ {
+				if w == u || w == v || g.HasEdge(u, w) {
+					continue
+				}
+				m := move.Swap{U: u, Old: v, New: w}
+				if c.tryMove(m) {
+					return unstable(m)
+				}
+			}
+		}
+	}
+	return stable()
+}
+
+// CheckBGE reports Bilateral Greedy Equilibrium: PS and BSwE.
+func CheckBGE(gm game.Game, g *graph.Graph) Result {
+	if r := CheckPS(gm, g); !r.Stable {
+		return r
+	}
+	return CheckBSwE(gm, g)
+}
+
+// CheckBNE reports whether g is a Bilateral Neighborhood Equilibrium: for
+// no agent u is there a set R of incident edges to drop and a set A of new
+// partners to connect to such that u and every member of A strictly
+// benefit.
+//
+// The search enumerates all 2^{deg(u)} × 2^{n-1-deg(u)} (R, A) pairs per
+// agent; it is exact and intended for n up to roughly 16.
+func CheckBNE(gm game.Game, g *graph.Graph) Result {
+	c := newChecker(gm, g)
+	n := g.N()
+	for u := 0; u < n; u++ {
+		neighbors := append([]int(nil), g.Neighbors(u)...)
+		var nonNeighbors []int
+		for v := 0; v < n; v++ {
+			if v != u && !g.HasEdge(u, v) {
+				nonNeighbors = append(nonNeighbors, v)
+			}
+		}
+		if w, ok := searchNeighborhood(c, u, neighbors, nonNeighbors); ok {
+			return unstable(w)
+		}
+	}
+	return stable()
+}
+
+// searchNeighborhood looks for an improving neighborhood change around u.
+func searchNeighborhood(c *checker, u int, neighbors, nonNeighbors []int) (move.Neighborhood, bool) {
+	for rMask := 0; rMask < 1<<len(neighbors); rMask++ {
+		removeTo := subsetOf(neighbors, rMask)
+		for aMask := 0; aMask < 1<<len(nonNeighbors); aMask++ {
+			if rMask == 0 && aMask == 0 {
+				continue
+			}
+			m := move.Neighborhood{
+				U:        u,
+				RemoveTo: removeTo,
+				AddTo:    subsetOf(nonNeighbors, aMask),
+			}
+			if c.tryMove(m) {
+				return m, true
+			}
+		}
+	}
+	return move.Neighborhood{}, false
+}
+
+func subsetOf(s []int, mask int) []int {
+	if mask == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(s))
+	for i, v := range s {
+		if mask&(1<<i) != 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}

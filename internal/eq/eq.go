@@ -1,0 +1,156 @@
+// Package eq implements exact equilibrium checkers for every solution
+// concept of the paper — RE, BAE, PS, BSwE, BGE, BNE, k-BSE, BSE for the
+// bilateral game, and RE/AE/NE for the unilateral NCG — plus the paper's
+// analytic stability conditions for the structured lower-bound families.
+//
+// Every checker returns a Result carrying a witness move when the state is
+// unstable, so tests and experiments can assert on the violation itself.
+package eq
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/move"
+)
+
+// Concept identifies a solution concept of the bilateral game.
+type Concept int
+
+// The solution concepts in the paper's order of increasing cooperation.
+const (
+	RE Concept = iota + 1
+	BAE
+	PS
+	BSwE
+	BGE
+	BNE
+	TwoBSE
+	ThreeBSE
+	BSE
+)
+
+// String implements fmt.Stringer.
+func (c Concept) String() string {
+	switch c {
+	case RE:
+		return "RE"
+	case BAE:
+		return "BAE"
+	case PS:
+		return "PS"
+	case BSwE:
+		return "BSwE"
+	case BGE:
+		return "BGE"
+	case BNE:
+		return "BNE"
+	case TwoBSE:
+		return "2-BSE"
+	case ThreeBSE:
+		return "3-BSE"
+	case BSE:
+		return "BSE"
+	default:
+		return fmt.Sprintf("Concept(%d)", int(c))
+	}
+}
+
+// Concepts lists all bilateral concepts in cooperation order.
+func Concepts() []Concept {
+	return []Concept{RE, BAE, PS, BSwE, BGE, BNE, TwoBSE, ThreeBSE, BSE}
+}
+
+// Result is a stability verdict with the violating move when unstable.
+type Result struct {
+	Stable  bool
+	Witness move.Move
+}
+
+func stable() Result { return Result{Stable: true} }
+
+func unstable(w move.Move) Result { return Result{Stable: false, Witness: w} }
+
+// Check dispatches to the exact checker for the concept. BSE uses
+// coalitions of size up to n.
+func Check(gm game.Game, g *graph.Graph, c Concept) Result {
+	switch c {
+	case RE:
+		return CheckRE(gm, g)
+	case BAE:
+		return CheckBAE(gm, g)
+	case PS:
+		return CheckPS(gm, g)
+	case BSwE:
+		return CheckBSwE(gm, g)
+	case BGE:
+		return CheckBGE(gm, g)
+	case BNE:
+		return CheckBNE(gm, g)
+	case TwoBSE:
+		return CheckKBSE(gm, g, 2)
+	case ThreeBSE:
+		return CheckKBSE(gm, g, 3)
+	case BSE:
+		return CheckKBSE(gm, g, g.N())
+	default:
+		panic(fmt.Sprintf("eq: unknown concept %d", int(c)))
+	}
+}
+
+// checker bundles the state shared by the exact checkers: the game, the
+// graph under test, the baseline agent costs and a reusable BFS buffer.
+type checker struct {
+	gm   game.Game
+	g    *graph.Graph
+	base []game.Cost
+	dist []int
+}
+
+func newChecker(gm game.Game, g *graph.Graph) *checker {
+	c := &checker{
+		gm:   gm,
+		g:    g,
+		base: make([]game.Cost, g.N()),
+		dist: make([]int, g.N()),
+	}
+	for u := 0; u < g.N(); u++ {
+		c.base[u] = gm.AgentCost(g, u)
+	}
+	return c
+}
+
+// cost returns agent u's cost in the current (possibly mutated) graph.
+func (c *checker) cost(u int) game.Cost {
+	c.g.BFSInto(u, c.dist)
+	return c.gm.AgentCostFromDist(c.g, u, c.dist)
+}
+
+// improves reports whether agent u's current cost is strictly below her
+// baseline cost.
+func (c *checker) improves(u int) bool {
+	return c.cost(u).Less(c.base[u], c.gm.Alpha)
+}
+
+// allImprove reports whether every listed agent strictly improves over the
+// baseline in the current graph, with early exit.
+func (c *checker) allImprove(agents []int) bool {
+	for _, u := range agents {
+		if !c.improves(u) {
+			return false
+		}
+	}
+	return true
+}
+
+// tryMove applies m, evaluates whether all actors strictly improve, and
+// reverts the graph. Moves that do not fit the graph report false.
+func (c *checker) tryMove(m move.Move) bool {
+	undo, err := m.Apply(c.g)
+	if err != nil {
+		return false
+	}
+	defer undo()
+	return c.allImprove(m.Actors())
+}

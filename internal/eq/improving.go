@@ -1,0 +1,39 @@
+package eq
+
+import (
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/move"
+)
+
+// Improving reports whether applying m to g strictly lowers the cost of
+// every actor of m. The graph is restored before returning. Moves that do
+// not fit the graph report false.
+//
+// This is the primitive behind all checkers; it is exported so experiments
+// can certify specific witness moves on instances too large for the
+// exhaustive checks (e.g. the Figure 5 and Figure 7 gadgets).
+func Improving(gm game.Game, g *graph.Graph, m move.Move) bool {
+	c := newChecker(gm, g)
+	return c.tryMove(m)
+}
+
+// CostDelta applies m, returns each actor's (before, after) costs in actor
+// order, and restores the graph. The error reports a move that does not fit.
+func CostDelta(gm game.Game, g *graph.Graph, m move.Move) (before, after []game.Cost, err error) {
+	actors := m.Actors()
+	before = make([]game.Cost, len(actors))
+	for i, u := range actors {
+		before[i] = gm.AgentCost(g, u)
+	}
+	undo, err := m.Apply(g)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer undo()
+	after = make([]game.Cost, len(actors))
+	for i, u := range actors {
+		after[i] = gm.AgentCost(g, u)
+	}
+	return before, after, nil
+}

@@ -1,0 +1,111 @@
+package eq
+
+import (
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/move"
+)
+
+// CheckKBSE reports whether g is a Bilateral k-Strong Equilibrium: no
+// coalition Γ of size at most k has a move — deleting edges that touch Γ
+// and adding edges inside Γ — from which every member of Γ strictly
+// benefits. CheckKBSE(gm, g, g.N()) is the full BSE check.
+//
+// The search is exact: it enumerates every coalition, every removable edge
+// subset and every addable edge subset, with early-exit cost evaluation.
+// Complexity is exponential; it is intended for n ≤ 6 at k = n and n ≤ ~12
+// for k ≤ 3.
+func CheckKBSE(gm game.Game, g *graph.Graph, k int) Result {
+	if k < 1 {
+		return stable()
+	}
+	if k > g.N() {
+		k = g.N()
+	}
+	c := newChecker(gm, g)
+	members := make([]int, 0, k)
+	if w, ok := searchCoalitions(c, 0, members, k); ok {
+		return unstable(w)
+	}
+	return stable()
+}
+
+// searchCoalitions enumerates coalitions Γ ⊆ V with |Γ| ≤ maxK in
+// lexicographic order (members strictly increasing, starting at from).
+func searchCoalitions(c *checker, from int, members []int, maxK int) (move.Coalition, bool) {
+	if len(members) > 0 {
+		if w, ok := searchCoalitionMoves(c, members); ok {
+			return w, true
+		}
+	}
+	if len(members) == maxK {
+		return move.Coalition{}, false
+	}
+	for v := from; v < c.g.N(); v++ {
+		if w, ok := searchCoalitions(c, v+1, append(members, v), maxK); ok {
+			return w, true
+		}
+	}
+	return move.Coalition{}, false
+}
+
+// searchCoalitionMoves enumerates every (removals, additions) pair legal for
+// the coalition and tests whether all members strictly improve.
+func searchCoalitionMoves(c *checker, members []int) (move.Coalition, bool) {
+	inCoalition := make(map[int]bool, len(members))
+	for _, u := range members {
+		inCoalition[u] = true
+	}
+	// Removable: existing edges touching the coalition.
+	var removable []graph.Edge
+	for _, e := range c.g.Edges() {
+		if inCoalition[e.U] || inCoalition[e.V] {
+			removable = append(removable, e)
+		}
+	}
+	// Addable: absent edges inside the coalition.
+	var addable []graph.Edge
+	for i := 0; i < len(members); i++ {
+		for j := i + 1; j < len(members); j++ {
+			if !c.g.HasEdge(members[i], members[j]) {
+				addable = append(addable, graph.Edge{U: members[i], V: members[j]})
+			}
+		}
+	}
+	if len(removable) > 30 || len(addable) > 30 {
+		// Guard against accidental astronomically large searches; the
+		// exact checker is documented for small instances only.
+		panic("eq: coalition move space too large for exact k-BSE check")
+	}
+	actors := append([]int(nil), members...)
+	for rMask := 0; rMask < 1<<len(removable); rMask++ {
+		removals := edgeSubset(removable, rMask)
+		for aMask := 0; aMask < 1<<len(addable); aMask++ {
+			if rMask == 0 && aMask == 0 {
+				continue
+			}
+			m := move.Coalition{
+				Members:     actors,
+				RemoveEdges: removals,
+				AddEdges:    edgeSubset(addable, aMask),
+			}
+			if c.tryMove(m) {
+				return m, true
+			}
+		}
+	}
+	return move.Coalition{}, false
+}
+
+func edgeSubset(s []graph.Edge, mask int) []graph.Edge {
+	if mask == 0 {
+		return nil
+	}
+	out := make([]graph.Edge, 0, len(s))
+	for i, e := range s {
+		if mask&(1<<i) != 0 {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,117 @@
+// Package experiments contains one runner per table row and figure of the
+// paper. Each runner produces a Report: formatted result rows plus named
+// pass/fail checks asserting the paper's qualitative claims (the "shape"
+// of each result). The bench harness in the repository root and the
+// `bncg experiment` CLI subcommand both dispatch into this package.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Scale selects how much work a runner does.
+type Scale int
+
+// Quick keeps every runner in CI-friendly time; Full extends sweeps for
+// the recorded EXPERIMENTS.md numbers.
+const (
+	Quick Scale = iota + 1
+	Full
+)
+
+// Check is a named assertion about an experiment's outcome.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Report is the outcome of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Lines  []string
+	Checks []Check
+}
+
+func (r *Report) addLinef(format string, args ...any) {
+	r.Lines = append(r.Lines, fmt.Sprintf(format, args...))
+}
+
+func (r *Report) addCheck(name string, pass bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// AllPass reports whether every check passed.
+func (r *Report) AllPass() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// FailedChecks returns the failing checks.
+func (r *Report) FailedChecks() []Check {
+	var out []Check
+	for _, c := range r.Checks {
+		if !c.Pass {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	for _, l := range r.Lines {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "[%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Runner executes an experiment at a scale.
+type Runner func(Scale) *Report
+
+// registry maps experiment IDs to runners; populated by init functions in
+// the per-experiment files.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) {
+	if _, dup := registry[id]; dup {
+		panic(fmt.Sprintf("experiments: duplicate experiment id %q", id))
+	}
+	registry[id] = r
+}
+
+// IDs returns the registered experiment IDs, sorted.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Run executes the experiment with the given ID.
+func Run(id string, s Scale) (*Report, error) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return r(s), nil
+}

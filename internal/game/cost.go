@@ -1,0 +1,160 @@
+package game
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// Cost is an agent's exact cost in a given state: the number of agents she
+// cannot reach, the number of edges she buys, and her total finite hop
+// distance. Costs compare lexicographically by (Unreachable, α·Buy + Dist),
+// which is the paper's cost function with disconnection priced at
+// M > α·n³.
+type Cost struct {
+	Unreachable int64 // agents in other components
+	Buy         int64 // edges paid for (in equilibrium form: the degree)
+	Dist        int64 // sum of finite hop distances
+}
+
+// Less reports whether c is strictly cheaper than d under edge price alpha.
+func (c Cost) Less(d Cost, alpha Alpha) bool {
+	if c.Unreachable != d.Unreachable {
+		return c.Unreachable < d.Unreachable
+	}
+	// c < d  ⟺  num·cBuy + den·cDist < num·dBuy + den·dDist.
+	lhs := alpha.Num()*c.Buy + alpha.Den()*c.Dist
+	rhs := alpha.Num()*d.Buy + alpha.Den()*d.Dist
+	return lhs < rhs
+}
+
+// Equal reports exact cost equality under alpha.
+func (c Cost) Equal(d Cost, alpha Alpha) bool {
+	return !c.Less(d, alpha) && !d.Less(c, alpha)
+}
+
+// Value returns the scalar α·Buy + Dist as a float64 for reporting. It is
+// meaningless when Unreachable > 0.
+func (c Cost) Value(alpha Alpha) float64 {
+	return alpha.Float()*float64(c.Buy) + float64(c.Dist)
+}
+
+// String renders the cost for diagnostics.
+func (c Cost) String() string {
+	if c.Unreachable > 0 {
+		return fmt.Sprintf("{unreachable:%d buy:%d dist:%d}", c.Unreachable, c.Buy, c.Dist)
+	}
+	return fmt.Sprintf("{buy:%d dist:%d}", c.Buy, c.Dist)
+}
+
+// Game couples a node count with an edge price. The created graph is the
+// state; in the BNCG the graph and the strategy vector are in bijection
+// (each agent's strategy is exactly her neighborhood), so all BNCG costs are
+// functions of the graph alone.
+type Game struct {
+	N     int
+	Alpha Alpha
+}
+
+// NewGame returns the BNCG on n agents with edge price alpha. It reports an
+// error for n < 1.
+func NewGame(n int, alpha Alpha) (Game, error) {
+	if n < 1 {
+		return Game{}, fmt.Errorf("game: need at least one agent, got %d", n)
+	}
+	return Game{N: n, Alpha: alpha}, nil
+}
+
+// AgentCost returns agent u's cost in state g (BNCG equilibrium form: the
+// agent pays for each incident edge).
+func (gm Game) AgentCost(g *graph.Graph, u int) Cost {
+	sum, unreachable := g.TotalDist(u)
+	return Cost{
+		Unreachable: int64(unreachable),
+		Buy:         int64(g.Degree(u)),
+		Dist:        sum,
+	}
+}
+
+// AgentCostFromDist builds agent u's cost from a precomputed BFS distance
+// slice, avoiding a second traversal in move-evaluation hot loops.
+func (gm Game) AgentCostFromDist(g *graph.Graph, u int, dist []int) Cost {
+	var (
+		sum         int64
+		unreachable int64
+	)
+	for _, d := range dist {
+		if d == graph.Unreachable {
+			unreachable++
+			continue
+		}
+		sum += int64(d)
+	}
+	return Cost{Unreachable: unreachable, Buy: int64(g.Degree(u)), Dist: sum}
+}
+
+// SocialCost returns the sum of all agent costs: total buying cost
+// 2·m·α plus total distance cost (and the number of unreachable ordered
+// pairs, zero for connected graphs).
+func (gm Game) SocialCost(g *graph.Graph) Cost {
+	var total Cost
+	for u := 0; u < g.N(); u++ {
+		c := gm.AgentCost(g, u)
+		total.Unreachable += c.Unreachable
+		total.Buy += c.Buy
+		total.Dist += c.Dist
+	}
+	return total
+}
+
+// OptCost returns the social optimum cost for the game (Section 3.1):
+// for α < 1 the clique with cost n(n-1)(1+α); for α >= 1 the star with cost
+// 2(n-1)(α+n-1). Both are returned in exact Cost form (Buy counts edge
+// endpoints, i.e. 2m).
+func (gm Game) OptCost() Cost {
+	n := int64(gm.N)
+	if n == 1 {
+		return Cost{}
+	}
+	if gm.Alpha.LessThanInt(1) {
+		// Clique: n(n-1) bought edge-endpoints, distance n(n-1).
+		return Cost{Buy: n * (n - 1), Dist: n * (n - 1)}
+	}
+	// Star: 2(n-1) endpoints; distances 2(n-1)(n-2) among leaves plus
+	// 2(n-1) to/from the center.
+	return Cost{Buy: 2 * (n - 1), Dist: 2*(n-1)*(n-2) + 2*(n-1)}
+}
+
+// Rho returns the social cost ratio ρ(G) = cost(G)/cost(OPT) as a float64.
+// It returns +Inf semantics via a large ratio if g is disconnected (the
+// paper never takes ρ of disconnected graphs; callers should check).
+func (gm Game) Rho(g *graph.Graph) float64 {
+	c := gm.SocialCost(g)
+	opt := gm.OptCost()
+	if c.Unreachable > 0 {
+		return float64(c.Unreachable) * 1e18 // sentinel: disconnected
+	}
+	return c.Value(gm.Alpha) / opt.Value(gm.Alpha)
+}
+
+// Star returns the star graph on n nodes with center 0, the social optimum
+// for α >= 1.
+func Star(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(0, v)
+	}
+	return g
+}
+
+// Clique returns the complete graph on n nodes, the social optimum for
+// α < 1.
+func Clique(n int) *graph.Graph {
+	g := graph.New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			g.AddEdge(u, v)
+		}
+	}
+	return g
+}

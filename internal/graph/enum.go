@@ -1,0 +1,80 @@
+package graph
+
+// EnumOptions controls small-graph enumeration.
+type EnumOptions struct {
+	// ConnectedOnly skips disconnected graphs.
+	ConnectedOnly bool
+	// UpToIso yields one representative per isomorphism class instead of
+	// every labeled graph.
+	UpToIso bool
+	// MinEdges/MaxEdges bound the edge count; MaxEdges < 0 means no upper
+	// bound.
+	MinEdges, MaxEdges int
+}
+
+// Enumerate calls yield with graphs on n nodes matching opts, and returns
+// how many were yielded. The callback owns each graph. Intended for n <= 7:
+// the labeled space has 2^(n(n-2)/2) members and isomorphism reduction uses
+// CanonicalKey.
+func Enumerate(n int, opts EnumOptions, yield func(*Graph)) int {
+	if n < 0 {
+		return 0
+	}
+	pairs := allPairs(n)
+	total := 1 << len(pairs)
+	maxE := opts.MaxEdges
+	if maxE < 0 {
+		maxE = len(pairs)
+	}
+	seen := make(map[string]bool)
+	count := 0
+	for mask := 0; mask < total; mask++ {
+		m := popcount(mask)
+		if m < opts.MinEdges || m > maxE {
+			continue
+		}
+		g := graphFromMask(n, pairs, mask)
+		if opts.ConnectedOnly && !g.Connected() {
+			continue
+		}
+		if opts.UpToIso {
+			key := g.CanonicalKey()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		count++
+		yield(g)
+	}
+	return count
+}
+
+func allPairs(n int) []Edge {
+	pairs := make([]Edge, 0, n*(n-1)/2)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			pairs = append(pairs, Edge{U: u, V: v})
+		}
+	}
+	return pairs
+}
+
+func graphFromMask(n int, pairs []Edge, mask int) *Graph {
+	g := New(n)
+	for i, e := range pairs {
+		if mask&(1<<i) != 0 {
+			g.insertEdge(e.U, e.V)
+		}
+	}
+	return g
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,29 @@
+package graph
+
+import (
+	"testing"
+)
+
+// FuzzDecode checks that Decode never panics and that whatever it accepts
+// round-trips through Encode.
+func FuzzDecode(f *testing.F) {
+	f.Add("n 3\n0 1\n1 2\n")
+	f.Add("n 0\n")
+	f.Add("# comment\nn 2\n\n0 1\n")
+	f.Add("n 5\n0 1\n0 2\n0 3\n0 4\n")
+	f.Add("n -1\n")
+	f.Add("0 1\nn 2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := Decode(input)
+		if err != nil {
+			return
+		}
+		back, err := Decode(Encode(g))
+		if err != nil {
+			t.Fatalf("re-decode of encoded graph failed: %v", err)
+		}
+		if !g.Equal(back) {
+			t.Fatalf("roundtrip mismatch: %s vs %s", g, back)
+		}
+	})
+}

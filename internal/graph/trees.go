@@ -1,0 +1,263 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// PruferDecode builds the labeled tree on n nodes encoded by the Prüfer
+// sequence (length n-2, entries in [0,n)). For n in {1,2} the sequence must
+// be empty.
+func PruferDecode(n int, seq []int) (*Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("graph: prüfer decode needs n >= 1, got %d", n)
+	}
+	if want := maxInt(n-2, 0); len(seq) != want {
+		return nil, fmt.Errorf("graph: prüfer sequence length %d, want %d", len(seq), want)
+	}
+	g := New(n)
+	if n == 1 {
+		return g, nil
+	}
+	degree := make([]int, n)
+	for i := range degree {
+		degree[i] = 1
+	}
+	for _, v := range seq {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("graph: prüfer entry %d out of range [0,%d)", v, n)
+		}
+		degree[v]++
+	}
+	// ptr scans for the smallest leaf; leaf tracks the current leaf to
+	// attach, allowing the classic O(n) decode.
+	ptr := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for _, v := range seq {
+		g.insertEdge(leaf, v)
+		degree[v]--
+		if degree[v] == 1 && v < ptr {
+			leaf = v
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	g.insertEdge(leaf, n-1)
+	return g, nil
+}
+
+// PruferEncode returns the Prüfer sequence of a labeled tree. It reports an
+// error if g is not a tree.
+func PruferEncode(g *Graph) ([]int, error) {
+	if !g.IsTree() {
+		return nil, fmt.Errorf("graph: prüfer encode of non-tree (%s)", g)
+	}
+	n := g.n
+	if n <= 2 {
+		return nil, nil
+	}
+	degree := make([]int, n)
+	adj := make([]map[int]bool, n)
+	for u := 0; u < n; u++ {
+		degree[u] = g.Degree(u)
+		adj[u] = make(map[int]bool, degree[u])
+		for _, v := range g.neigh[u] {
+			adj[u][v] = true
+		}
+	}
+	seq := make([]int, 0, n-2)
+	ptr := 0
+	for degree[ptr] != 1 {
+		ptr++
+	}
+	leaf := ptr
+	for len(seq) < n-2 {
+		var parent int
+		for v := range adj[leaf] {
+			parent = v
+		}
+		seq = append(seq, parent)
+		delete(adj[parent], leaf)
+		degree[parent]--
+		degree[leaf]--
+		if degree[parent] == 1 && parent < ptr {
+			leaf = parent
+		} else {
+			ptr++
+			for degree[ptr] != 1 {
+				ptr++
+			}
+			leaf = ptr
+		}
+	}
+	return seq, nil
+}
+
+// FreeTrees calls yield with one representative of every isomorphism class
+// of trees on n nodes. Enumeration is deterministic. The callback owns the
+// graph. Returns the number of trees yielded.
+//
+// Implementation: Beyer–Hedetniemi level-sequence generation of all rooted
+// trees, reduced to free trees by AHU canonical hashing at the tree center.
+func FreeTrees(n int, yield func(*Graph)) int {
+	if n <= 0 {
+		return 0
+	}
+	if n == 1 {
+		yield(New(1))
+		return 1
+	}
+	seen := make(map[string]bool)
+	count := 0
+	rootedTrees(n, func(level []int) {
+		g := treeFromLevels(level)
+		key := FreeTreeKey(g)
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		count++
+		yield(g)
+	})
+	return count
+}
+
+// rootedTrees generates the canonical level sequences of all rooted trees on
+// n nodes (Beyer–Hedetniemi successor rule) and calls f with each. The
+// slice passed to f is reused.
+func rootedTrees(n int, f func(level []int)) {
+	level := make([]int, n)
+	for i := range level {
+		level[i] = i + 1 // the path: levels 1,2,...,n
+	}
+	for {
+		f(level)
+		// Find rightmost position p with level[p] > 2.
+		p := -1
+		for i := n - 1; i >= 0; i-- {
+			if level[i] > 2 {
+				p = i
+				break
+			}
+		}
+		if p < 0 {
+			return
+		}
+		// q: rightmost position before p with level[q] = level[p]-1.
+		q := p - 1
+		for level[q] != level[p]-1 {
+			q--
+		}
+		// Successor: copy the segment starting at q cyclically from p on.
+		for i := p; i < n; i++ {
+			level[i] = level[i-(p-q)]
+		}
+	}
+}
+
+// treeFromLevels converts a rooted-tree level sequence (level[0]=1) into a
+// graph: each node's parent is the nearest earlier node one level up.
+func treeFromLevels(level []int) *Graph {
+	n := len(level)
+	g := New(n)
+	for i := 1; i < n; i++ {
+		for j := i - 1; j >= 0; j-- {
+			if level[j] == level[i]-1 {
+				g.insertEdge(i, j)
+				break
+			}
+		}
+	}
+	return g
+}
+
+// FreeTreeKey returns a canonical string for a free tree: the AHU encoding
+// rooted at the tree's center (for bicentral trees, the lexicographically
+// smaller of the two center encodings, each including the other half).
+// Isomorphic trees share the key; non-isomorphic trees differ.
+func FreeTreeKey(g *Graph) string {
+	centers := Centers(g)
+	best := ""
+	for _, c := range centers {
+		s := ahu(g, c, -1)
+		if best == "" || s < best {
+			best = s
+		}
+	}
+	return best
+}
+
+// ahu returns the canonical parenthesis string of the subtree rooted at u
+// with parent p (AHU encoding).
+func ahu(g *Graph, u, p int) string {
+	var children []string
+	for _, v := range g.neigh[u] {
+		if v != p {
+			children = append(children, ahu(g, v, u))
+		}
+	}
+	sort.Strings(children)
+	return "(" + strings.Join(children, "") + ")"
+}
+
+// Centers returns the 1 or 2 centers (minimum eccentricity nodes) of a tree
+// by iterative leaf removal. It panics on non-trees, which would indicate a
+// caller bug.
+func Centers(g *Graph) []int {
+	if !g.IsTree() {
+		panic("graph: Centers on non-tree")
+	}
+	n := g.n
+	if n == 1 {
+		return []int{0}
+	}
+	degree := make([]int, n)
+	removed := make([]bool, n)
+	var leaves []int
+	for u := 0; u < n; u++ {
+		degree[u] = g.Degree(u)
+		if degree[u] <= 1 {
+			leaves = append(leaves, u)
+		}
+	}
+	remaining := n
+	for remaining > 2 {
+		var next []int
+		for _, u := range leaves {
+			removed[u] = true
+			remaining--
+			for _, v := range g.neigh[u] {
+				if removed[v] {
+					continue
+				}
+				degree[v]--
+				if degree[v] == 1 {
+					next = append(next, v)
+				}
+			}
+		}
+		leaves = next
+	}
+	var centers []int
+	for u := 0; u < n; u++ {
+		if !removed[u] {
+			centers = append(centers, u)
+		}
+	}
+	return centers
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,224 @@
+// Package move defines the strategy-change vocabulary of the BNCG solution
+// concepts: single-edge removals, bilateral additions, swaps, neighborhood
+// changes and coalitional moves. Moves apply in place and return an undo
+// closure so equilibrium checkers can explore millions of candidate moves
+// without copying graphs.
+package move
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// Move is a reversible strategy change on a graph state.
+type Move interface {
+	// Apply mutates g and returns an undo closure, or an error if the move
+	// does not fit g (missing edge, duplicate addition, ...). On error g is
+	// unchanged.
+	Apply(g *graph.Graph) (undo func(), err error)
+	// Actors returns the agents whose consent the move requires, i.e. the
+	// agents that must strictly benefit under the corresponding solution
+	// concept.
+	Actors() []int
+	// String renders the move for witnesses and logs.
+	String() string
+}
+
+// Remove is agent U unilaterally removing the edge U-V (the RE move).
+type Remove struct {
+	U, V int
+}
+
+// Apply implements Move.
+func (m Remove) Apply(g *graph.Graph) (func(), error) {
+	if !g.RemoveEdge(m.U, m.V) {
+		return nil, fmt.Errorf("move: remove %d-%d: edge absent", m.U, m.V)
+	}
+	return func() { g.AddEdge(m.U, m.V) }, nil
+}
+
+// Actors implements Move: only the remover must benefit.
+func (m Remove) Actors() []int { return []int{m.U} }
+
+func (m Remove) String() string { return fmt.Sprintf("remove(%d, %d-%d)", m.U, m.U, m.V) }
+
+// Add is the bilateral addition of edge U-V (the BAE move); both endpoints
+// must benefit.
+type Add struct {
+	U, V int
+}
+
+// Apply implements Move.
+func (m Add) Apply(g *graph.Graph) (func(), error) {
+	if !g.AddEdge(m.U, m.V) {
+		return nil, fmt.Errorf("move: add %d-%d: invalid or present", m.U, m.V)
+	}
+	return func() { g.RemoveEdge(m.U, m.V) }, nil
+}
+
+// Actors implements Move.
+func (m Add) Actors() []int { return []int{m.U, m.V} }
+
+func (m Add) String() string { return fmt.Sprintf("add(%d-%d)", m.U, m.V) }
+
+// Swap replaces edge U-Old with edge U-New (the BSwE move); U and New must
+// benefit. Old is not consulted.
+type Swap struct {
+	U, Old, New int
+}
+
+// Apply implements Move.
+func (m Swap) Apply(g *graph.Graph) (func(), error) {
+	if m.Old == m.New || m.U == m.New {
+		return nil, fmt.Errorf("move: swap with coinciding nodes %v", m)
+	}
+	if !g.HasEdge(m.U, m.Old) {
+		return nil, fmt.Errorf("move: swap: edge %d-%d absent", m.U, m.Old)
+	}
+	if g.HasEdge(m.U, m.New) {
+		return nil, fmt.Errorf("move: swap: edge %d-%d already present", m.U, m.New)
+	}
+	g.RemoveEdge(m.U, m.Old)
+	g.AddEdge(m.U, m.New)
+	return func() {
+		g.RemoveEdge(m.U, m.New)
+		g.AddEdge(m.U, m.Old)
+	}, nil
+}
+
+// Actors implements Move.
+func (m Swap) Actors() []int { return []int{m.U, m.New} }
+
+func (m Swap) String() string {
+	return fmt.Sprintf("swap(%d: %d-%d -> %d-%d)", m.U, m.U, m.Old, m.U, m.New)
+}
+
+// Neighborhood is the BNE move around U: remove the edges U-r for r in
+// RemoveTo and add the edges U-a for a in AddTo. U and every member of
+// AddTo must strictly benefit.
+type Neighborhood struct {
+	U        int
+	RemoveTo []int
+	AddTo    []int
+}
+
+// Apply implements Move.
+func (m Neighborhood) Apply(g *graph.Graph) (func(), error) {
+	if len(m.RemoveTo) == 0 && len(m.AddTo) == 0 {
+		return nil, fmt.Errorf("move: empty neighborhood change around %d", m.U)
+	}
+	for _, r := range m.RemoveTo {
+		if !g.HasEdge(m.U, r) {
+			return nil, fmt.Errorf("move: neighborhood: edge %d-%d absent", m.U, r)
+		}
+	}
+	for _, a := range m.AddTo {
+		if a == m.U || g.HasEdge(m.U, a) {
+			return nil, fmt.Errorf("move: neighborhood: cannot add edge %d-%d", m.U, a)
+		}
+	}
+	for _, r := range m.RemoveTo {
+		g.RemoveEdge(m.U, r)
+	}
+	for _, a := range m.AddTo {
+		g.AddEdge(m.U, a)
+	}
+	return func() {
+		for _, a := range m.AddTo {
+			g.RemoveEdge(m.U, a)
+		}
+		for _, r := range m.RemoveTo {
+			g.AddEdge(m.U, r)
+		}
+	}, nil
+}
+
+// Actors implements Move.
+func (m Neighborhood) Actors() []int {
+	actors := make([]int, 0, 1+len(m.AddTo))
+	actors = append(actors, m.U)
+	actors = append(actors, m.AddTo...)
+	return actors
+}
+
+func (m Neighborhood) String() string {
+	return fmt.Sprintf("neighborhood(%d: -%v +%v)", m.U, m.RemoveTo, m.AddTo)
+}
+
+// Coalition is the k-BSE move: the Members jointly delete RemoveEdges (each
+// of which must touch the coalition) and create AddEdges (both endpoints in
+// the coalition). Every member must strictly benefit.
+type Coalition struct {
+	Members     []int
+	RemoveEdges []graph.Edge
+	AddEdges    []graph.Edge
+}
+
+// Validate checks the structural side conditions of the k-BSE definition
+// against g without mutating it.
+func (m Coalition) Validate(g *graph.Graph) error {
+	if len(m.RemoveEdges) == 0 && len(m.AddEdges) == 0 {
+		return fmt.Errorf("move: empty coalition move")
+	}
+	inCoalition := make(map[int]bool, len(m.Members))
+	for _, u := range m.Members {
+		inCoalition[u] = true
+	}
+	for _, e := range m.RemoveEdges {
+		if !g.HasEdge(e.U, e.V) {
+			return fmt.Errorf("move: coalition: edge %v absent", e)
+		}
+		if !inCoalition[e.U] && !inCoalition[e.V] {
+			return fmt.Errorf("move: coalition: removed edge %v does not touch coalition", e)
+		}
+	}
+	for _, e := range m.AddEdges {
+		if g.HasEdge(e.U, e.V) || e.U == e.V {
+			return fmt.Errorf("move: coalition: cannot add edge %v", e)
+		}
+		if !inCoalition[e.U] || !inCoalition[e.V] {
+			return fmt.Errorf("move: coalition: added edge %v leaves coalition", e)
+		}
+	}
+	return nil
+}
+
+// Apply implements Move.
+func (m Coalition) Apply(g *graph.Graph) (func(), error) {
+	if err := m.Validate(g); err != nil {
+		return nil, err
+	}
+	for _, e := range m.RemoveEdges {
+		g.RemoveEdge(e.U, e.V)
+	}
+	for _, e := range m.AddEdges {
+		g.AddEdge(e.U, e.V)
+	}
+	return func() {
+		for _, e := range m.AddEdges {
+			g.RemoveEdge(e.U, e.V)
+		}
+		for _, e := range m.RemoveEdges {
+			g.AddEdge(e.U, e.V)
+		}
+	}, nil
+}
+
+// Actors implements Move.
+func (m Coalition) Actors() []int { return m.Members }
+
+func (m Coalition) String() string {
+	members := append([]int(nil), m.Members...)
+	sort.Ints(members)
+	parts := make([]string, 0, len(m.RemoveEdges)+len(m.AddEdges))
+	for _, e := range m.RemoveEdges {
+		parts = append(parts, "-"+e.String())
+	}
+	for _, e := range m.AddEdges {
+		parts = append(parts, "+"+e.String())
+	}
+	return fmt.Sprintf("coalition(%v: %s)", members, strings.Join(parts, " "))
+}

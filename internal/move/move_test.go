@@ -1,0 +1,228 @@
+package move
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func path(n int) *graph.Graph {
+	g := graph.New(n)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v-1, v)
+	}
+	return g
+}
+
+func TestRemoveApplyUndo(t *testing.T) {
+	g := path(3)
+	orig := g.Clone()
+	m := Remove{U: 0, V: 1}
+	undo, err := m.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) {
+		t.Fatal("edge not removed")
+	}
+	undo()
+	if !g.Equal(orig) {
+		t.Fatal("undo did not restore graph")
+	}
+	if _, err := (Remove{U: 0, V: 2}).Apply(g); err == nil {
+		t.Fatal("removing absent edge succeeded")
+	}
+	if a := m.Actors(); len(a) != 1 || a[0] != 0 {
+		t.Fatalf("Actors = %v", a)
+	}
+}
+
+func TestAddApplyUndo(t *testing.T) {
+	g := path(3)
+	orig := g.Clone()
+	m := Add{U: 0, V: 2}
+	undo, err := m.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.HasEdge(0, 2) {
+		t.Fatal("edge not added")
+	}
+	undo()
+	if !g.Equal(orig) {
+		t.Fatal("undo did not restore graph")
+	}
+	if _, err := (Add{U: 0, V: 1}).Apply(g); err == nil {
+		t.Fatal("adding present edge succeeded")
+	}
+	if _, err := (Add{U: 1, V: 1}).Apply(g); err == nil {
+		t.Fatal("adding loop succeeded")
+	}
+	if a := m.Actors(); len(a) != 2 {
+		t.Fatalf("Actors = %v", a)
+	}
+}
+
+func TestSwapApplyUndo(t *testing.T) {
+	g := path(4)
+	orig := g.Clone()
+	m := Swap{U: 0, Old: 1, New: 3}
+	undo, err := m.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(0, 1) || !g.HasEdge(0, 3) {
+		t.Fatal("swap not applied")
+	}
+	undo()
+	if !g.Equal(orig) {
+		t.Fatal("undo did not restore graph")
+	}
+	for _, bad := range []Swap{
+		{U: 0, Old: 2, New: 3}, // old edge absent
+		{U: 0, Old: 1, New: 1}, // old == new
+		{U: 1, Old: 0, New: 2}, // new edge present
+		{U: 0, Old: 1, New: 0}, // new == u
+	} {
+		if _, err := bad.Apply(g); err == nil {
+			t.Fatalf("invalid swap %v succeeded", bad)
+		}
+	}
+	if a := m.Actors(); len(a) != 2 || a[0] != 0 || a[1] != 3 {
+		t.Fatalf("Actors = %v", a)
+	}
+}
+
+func TestNeighborhoodApplyUndo(t *testing.T) {
+	g := path(5)
+	orig := g.Clone()
+	m := Neighborhood{U: 2, RemoveTo: []int{1, 3}, AddTo: []int{0, 4}}
+	undo, err := m.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(2, 1) || g.HasEdge(2, 3) || !g.HasEdge(2, 0) || !g.HasEdge(2, 4) {
+		t.Fatal("neighborhood change not applied")
+	}
+	undo()
+	if !g.Equal(orig) {
+		t.Fatal("undo did not restore graph")
+	}
+	for _, bad := range []Neighborhood{
+		{U: 2},                     // empty
+		{U: 2, RemoveTo: []int{0}}, // absent edge
+		{U: 2, AddTo: []int{1}},    // present edge
+		{U: 2, AddTo: []int{2}},    // self edge
+	} {
+		if _, err := bad.Apply(g); err == nil {
+			t.Fatalf("invalid neighborhood %v succeeded", bad)
+		}
+	}
+	actors := m.Actors()
+	if len(actors) != 3 || actors[0] != 2 {
+		t.Fatalf("Actors = %v", actors)
+	}
+}
+
+func TestCoalitionApplyUndoAndValidate(t *testing.T) {
+	g := path(5)
+	orig := g.Clone()
+	m := Coalition{
+		Members:     []int{0, 2, 4},
+		RemoveEdges: []graph.Edge{{U: 1, V: 2}},
+		AddEdges:    []graph.Edge{{U: 0, V: 2}, {U: 2, V: 4}},
+	}
+	undo, err := m.Apply(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 2) || !g.HasEdge(0, 2) || !g.HasEdge(2, 4) {
+		t.Fatal("coalition move not applied")
+	}
+	undo()
+	if !g.Equal(orig) {
+		t.Fatal("undo did not restore graph")
+	}
+
+	bad := []Coalition{
+		{Members: []int{0}},
+		{Members: []int{0}, RemoveEdges: []graph.Edge{{U: 2, V: 3}}},    // removal not touching coalition
+		{Members: []int{0, 4}, AddEdges: []graph.Edge{{U: 0, V: 2}}},    // addition leaves coalition
+		{Members: []int{0, 2}, AddEdges: []graph.Edge{{U: 1, V: 2}}},    // edge already present
+		{Members: []int{0, 2}, RemoveEdges: []graph.Edge{{U: 0, V: 3}}}, // edge absent
+	}
+	for _, b := range bad {
+		if err := b.Validate(g); err == nil {
+			t.Fatalf("invalid coalition %v validated", b)
+		}
+	}
+}
+
+func TestMoveStrings(t *testing.T) {
+	tests := []struct {
+		m    Move
+		want string
+	}{
+		{m: Remove{U: 1, V: 2}, want: "remove"},
+		{m: Add{U: 1, V: 2}, want: "add"},
+		{m: Swap{U: 1, Old: 2, New: 3}, want: "swap"},
+		{m: Neighborhood{U: 1, AddTo: []int{2}}, want: "neighborhood"},
+		{m: Coalition{Members: []int{1, 2}, AddEdges: []graph.Edge{{U: 1, V: 2}}}, want: "coalition"},
+	}
+	for _, tt := range tests {
+		if s := tt.m.String(); !strings.Contains(s, tt.want) {
+			t.Fatalf("String() = %q, want substring %q", s, tt.want)
+		}
+	}
+}
+
+// TestApplyUndoProperty: random valid moves on random graphs always restore
+// the original graph after undo.
+func TestApplyUndoProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 4 + rng.Intn(8)
+		g, err := graph.RandomConnectedGraph(n, n-1+rng.Intn(n), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orig := g.Clone()
+		var m Move
+		switch rng.Intn(3) {
+		case 0:
+			edges := g.Edges()
+			e := edges[rng.Intn(len(edges))]
+			m = Remove{U: e.U, V: e.V}
+		case 1:
+			u, v := rng.Intn(n), rng.Intn(n)
+			m = Add{U: u, V: v}
+		default:
+			u := rng.Intn(n)
+			var removeTo, addTo []int
+			for _, w := range g.Neighbors(u) {
+				if rng.Intn(2) == 0 {
+					removeTo = append(removeTo, w)
+				}
+			}
+			for w := 0; w < n; w++ {
+				if w != u && !g.HasEdge(u, w) && rng.Intn(3) == 0 {
+					addTo = append(addTo, w)
+				}
+			}
+			m = Neighborhood{U: u, RemoveTo: removeTo, AddTo: addTo}
+		}
+		undo, err := m.Apply(g)
+		if err != nil {
+			if !g.Equal(orig) {
+				t.Fatalf("failed Apply mutated graph: %v", m)
+			}
+			continue
+		}
+		undo()
+		if !g.Equal(orig) {
+			t.Fatalf("undo did not restore graph after %v", m)
+		}
+	}
+}
