@@ -1,11 +1,35 @@
 package bncg_test
 
 import (
+	"runtime"
 	"sync"
 	"testing"
 
 	bncg "repro"
 )
+
+// TestExperimentsQuick runs every registered experiment at Quick scale
+// under plain `go test`, so the experiment registry and all report shape
+// checks are exercised by tier-1 runs — the benchmarks below only cover
+// them under -bench.
+func TestExperimentsQuick(t *testing.T) {
+	ids := bncg.ExperimentIDs()
+	if len(ids) == 0 {
+		t.Fatal("no experiments registered")
+	}
+	for _, id := range ids {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			rep, err := bncg.Experiment(id, bncg.Quick)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range rep.FailedChecks() {
+				t.Errorf("check %q failed: %s", c.Name, c.Detail)
+			}
+		})
+	}
+}
 
 // One benchmark per table row and figure of the paper (DESIGN.md §4).
 // Each runs the corresponding experiment harness end to end; the first
@@ -127,6 +151,61 @@ func BenchmarkWorstTreePS_n9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := bncg.WorstTree(9, bncg.AlphaInt(9), bncg.PS); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// Sweep engine benchmarks: the Full-scale n=6 lattice sweep (112 connected
+// graph classes × 6 α × all nine concepts) at one worker vs all CPUs, plus
+// the warm-cache path. On a multi-core machine the NumCPU variant should
+// run ≥ 2× faster than the single worker; the differential tests in
+// repro/internal/sweep prove the vectors are identical either way.
+
+func sweepLatticeOptions(workers int, cache *bncg.SweepCache) bncg.SweepOptions {
+	return bncg.SweepOptions{
+		N: 6,
+		Alphas: []bncg.Alpha{
+			bncg.Alpha2(1, 2), bncg.AlphaInt(1), bncg.Alpha2(3, 2),
+			bncg.AlphaInt(2), bncg.AlphaInt(3), bncg.AlphaInt(5),
+		},
+		Concepts: bncg.Concepts(),
+		Workers:  workers,
+		Cache:   cache,
+	}
+}
+
+func benchSweepLattice(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		// A fresh cache per iteration keeps every iteration a full
+		// computation rather than a cache replay.
+		res, err := bncg.RunSweep(sweepLatticeOptions(workers, bncg.NewSweepCache()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Graphs != 112 {
+			b.Fatalf("enumerated %d graph classes, want 112", res.Graphs)
+		}
+	}
+}
+
+func BenchmarkSweepLatticeN6_Workers1(b *testing.B) { benchSweepLattice(b, 1) }
+
+func BenchmarkSweepLatticeN6_WorkersNumCPU(b *testing.B) { benchSweepLattice(b, runtime.NumCPU()) }
+
+func BenchmarkSweepLatticeN6_WarmCache(b *testing.B) {
+	cache := bncg.NewSweepCache()
+	if _, err := bncg.RunSweep(sweepLatticeOptions(runtime.NumCPU(), cache)); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := bncg.RunSweep(sweepLatticeOptions(runtime.NumCPU(), cache))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Misses != 0 {
+			b.Fatalf("warm sweep recomputed %d verdicts", res.Misses)
 		}
 	}
 }

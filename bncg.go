@@ -10,6 +10,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/move"
 	"repro/internal/ncg"
+	"repro/internal/sweep"
 )
 
 // Core model types.
@@ -133,6 +134,8 @@ var (
 var (
 	// Check runs the exact checker for a solution concept.
 	Check = eq.Check
+	// Concepts lists all bilateral concepts in cooperation order.
+	Concepts = eq.Concepts
 	// Improving reports whether a specific move strictly improves all of
 	// its actors.
 	Improving = eq.Improving
@@ -152,6 +155,40 @@ var (
 	WorstGraph = core.WorstGraph
 	// TreeRho computes ρ(G) for a tree in O(n).
 	TreeRho = core.TreeRho
+)
+
+// Parallel sweep engine.
+type (
+	// SweepOptions configures a parallel sweep over an isomorphism-free
+	// graph stream.
+	SweepOptions = sweep.Options
+	// SweepResult is the deterministic outcome of a sweep.
+	SweepResult = sweep.Result
+	// SweepItem is the verdict vector for one (α, graph) pair.
+	SweepItem = sweep.Item
+	// SweepVector is a stability bit vector over a sweep's concepts.
+	SweepVector = sweep.Vector
+	// SweepSource selects the enumerated stream (graphs or trees).
+	SweepSource = sweep.Source
+	// SweepCache memoizes stability verdicts by canonical form, α and
+	// concept.
+	SweepCache = sweep.Cache
+)
+
+// The sweep graph streams.
+const (
+	SweepGraphs = sweep.Graphs
+	SweepTrees  = sweep.Trees
+)
+
+var (
+	// RunSweep executes a parallel sweep.
+	RunSweep = sweep.Run
+	// NewSweepCache returns an empty verdict cache.
+	NewSweepCache = sweep.NewCache
+	// SharedSweepCache returns the process-wide verdict cache the
+	// experiments and PoA searches share.
+	SharedSweepCache = sweep.Shared
 )
 
 // Dynamics.

@@ -11,6 +11,7 @@
 //	bncg check -alpha <p[/q]> [-concept <name>] [-file <graph>]
 //	bncg cost -alpha <p[/q]> [-file <graph>]
 //	bncg poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs]
+//	bncg sweep [-n <nodes>] [-workers <w>] [-alphas <grid>] [-concepts <list>] [-trees]
 //
 // Graphs are read in the plain text edge-list format ("n <count>" then one
 // "u v" pair per line); with no -file, standard input is read.
@@ -36,7 +37,7 @@ func main() {
 
 func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa)")
+		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep)")
 	}
 	switch args[0] {
 	case "list":
@@ -51,6 +52,8 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		return runCost(args[1:], stdin, stdout)
 	case "poa":
 		return runPoA(args[1:], stdout)
+	case "sweep":
+		return runSweep(args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -246,7 +249,7 @@ func runCheck(args []string, stdin io.Reader, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	concepts := []bncg.Concept{bncg.RE, bncg.BAE, bncg.PS, bncg.BSwE, bncg.BGE, bncg.BNE, bncg.TwoBSE, bncg.ThreeBSE, bncg.BSE}
+	concepts := bncg.Concepts()
 	if *conceptStr != "" {
 		c, err := parseConcept(*conceptStr)
 		if err != nil {
@@ -291,6 +294,55 @@ func runCost(args []string, stdin io.Reader, stdout io.Writer) error {
 	total := gm.SocialCost(g)
 	fmt.Fprintf(stdout, "social cost: %.3f  OPT: %.3f  rho: %.4f\n",
 		total.Value(alpha), gm.OptCost().Value(alpha), gm.Rho(g))
+	return nil
+}
+
+func runSweep(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	n := fs.Int("n", 6, "node count (6 is the Full-scale lattice sweep)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	alphasStr := fs.String("alphas", "1/2,1,3/2,2,3,5", "comma-separated α grid")
+	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
+	trees := fs.Bool("trees", false, "sweep free trees instead of connected graphs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var alphas []bncg.Alpha
+	for _, s := range strings.Split(*alphasStr, ",") {
+		a, err := parseAlpha(strings.TrimSpace(s))
+		if err != nil {
+			return err
+		}
+		alphas = append(alphas, a)
+	}
+	concepts := bncg.Concepts()
+	if *conceptsStr != "all" {
+		concepts = concepts[:0]
+		for _, s := range strings.Split(*conceptsStr, ",") {
+			c, err := parseConcept(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			concepts = append(concepts, c)
+		}
+	}
+	source := bncg.SweepGraphs
+	if *trees {
+		source = bncg.SweepTrees
+	}
+	res, err := bncg.RunSweep(bncg.SweepOptions{
+		N:        *n,
+		Alphas:   alphas,
+		Concepts: concepts,
+		Workers:  *workers,
+		Source:   source,
+		Cache:    bncg.SharedSweepCache(),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, res.Report())
+	fmt.Fprintf(stdout, "workers=%d cache: %d hits, %d misses\n", res.Workers, res.Hits, res.Misses)
 	return nil
 }
 

@@ -89,6 +89,38 @@ func TestPoA(t *testing.T) {
 	}
 }
 
+func TestSweepCommand(t *testing.T) {
+	out, err := runCLI(t, "", "sweep", "-n", "4", "-workers", "2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"sweep n=4 source=graphs: 6 graphs", "BSE", "workers=2 cache:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("sweep output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic report: same grid, different pool size, fresh shared
+	// cache state — the table (everything before the cache line) matches.
+	out2, err := runCLI(t, "", "sweep", "-n", "4", "-workers", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := func(s string) string { return s[:strings.LastIndex(s, "workers=")] }
+	if table(out) != table(out2) {
+		t.Fatalf("sweep reports differ across worker counts:\n%s\nvs\n%s", out, out2)
+	}
+}
+
+func TestSweepCommandTreesAndConcepts(t *testing.T) {
+	out, err := runCLI(t, "", "sweep", "-n", "7", "-trees", "-alphas", "4", "-concepts", "PS,BGE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "sweep n=7 source=trees: 11 graphs × 1 α × 2 concepts") {
+		t.Fatalf("sweep trees output:\n%s", out)
+	}
+}
+
 func TestExperimentCommand(t *testing.T) {
 	out, err := runCLI(t, "", "experiment", "F3")
 	if err != nil {
@@ -112,6 +144,9 @@ func TestErrors(t *testing.T) {
 		{"poa", "-alpha", "2", "-concept", "nope"},
 		{"experiment"},
 		{"experiment", "nope"},
+		{"sweep", "-n", "0"},
+		{"sweep", "-alphas", "x"},
+		{"sweep", "-concepts", "nope"},
 	}
 	for _, tc := range cases {
 		if _, err := runCLI(t, "", tc...); err == nil {

@@ -16,6 +16,11 @@
 //     Figures 2 and 5–8;
 //   - Price-of-Anarchy machinery: closed-form bounds of Sections 3.2–3.3
 //     and exhaustive worst-case search over all small trees and graphs;
+//   - a parallel sweep engine (RunSweep) that shards the isomorphism-free
+//     enumeration streams across a worker pool and memoizes stability
+//     verdicts in a canonical-form cache; the exhaustive experiments and
+//     the PoA searches run on it, and a differential test harness pins its
+//     vectors to the sequential checkers bit for bit (see EXPERIMENTS.md);
 //   - improving-response dynamics converging to PS/BGE states;
 //   - one experiment runner per table row and figure of the paper
 //     (package repro/internal/experiments, surfaced via Experiment).

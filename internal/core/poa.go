@@ -10,6 +10,7 @@ import (
 	"repro/internal/eq"
 	"repro/internal/game"
 	"repro/internal/graph"
+	"repro/internal/sweep"
 )
 
 // PoAResult is the outcome of a worst-case search: the maximal social cost
@@ -29,50 +30,42 @@ type PoAResult struct {
 // WorstTree exhaustively computes the PoA restricted to tree equilibria:
 // the maximal ρ over all free trees on n nodes that are stable for the
 // concept at price alpha. Exact for every concept; the BSE/BNE checkers
-// bound the practical n (see package eq).
+// bound the practical n (see package eq). The search runs on the parallel
+// sweep engine with the process-wide verdict cache.
 func WorstTree(n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
-	gm, err := game.NewGame(n, alpha)
-	if err != nil {
-		return PoAResult{}, err
-	}
-	var res PoAResult
-	res.Candidates = graph.FreeTrees(n, func(g *graph.Graph) {
-		if !eq.Check(gm, g, concept).Stable {
-			return
-		}
-		res.Equilibria++
-		if rho := gm.Rho(g); rho > res.Rho {
-			res.Rho = rho
-			res.Witness = g
-		}
-	})
-	return res, nil
+	return worstCase(n, alpha, concept, sweep.Trees)
 }
 
 // WorstGraph exhaustively computes the PoA over all connected graphs on n
 // nodes (up to isomorphism) stable for the concept at price alpha.
-// Intended for n <= 6.
+// Intended for n <= 6. The search runs on the parallel sweep engine with
+// the process-wide verdict cache.
 func WorstGraph(n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
-	gm, err := game.NewGame(n, alpha)
+	return worstCase(n, alpha, concept, sweep.Graphs)
+}
+
+// worstCase reduces a one-cell sweep (single α, single concept) to the
+// worst stable ρ. The sweep's item order matches the enumeration order the
+// sequential search used, so the reported witness is identical.
+func worstCase(n int, alpha game.Alpha, concept eq.Concept, src sweep.Source) (PoAResult, error) {
+	res, err := sweep.Run(sweep.Options{
+		N:        n,
+		Alphas:   []game.Alpha{alpha},
+		Concepts: []eq.Concept{concept},
+		Source:   src,
+		Cache:    sweep.Shared(),
+		Rho:      true,
+	})
 	if err != nil {
 		return PoAResult{}, err
 	}
-	var res PoAResult
-	res.Candidates = graph.Enumerate(n, graph.EnumOptions{
-		ConnectedOnly: true,
-		UpToIso:       true,
-		MaxEdges:      -1,
-	}, func(g *graph.Graph) {
-		if !eq.Check(gm, g, concept).Stable {
-			return
-		}
-		res.Equilibria++
-		if rho := gm.Rho(g); rho > res.Rho {
-			res.Rho = rho
-			res.Witness = g
-		}
-	})
-	return res, nil
+	rho, witness, stable := res.WorstStable(0, 0)
+	return PoAResult{
+		Rho:        rho,
+		Witness:    witness,
+		Equilibria: stable,
+		Candidates: res.Graphs,
+	}, nil
 }
 
 // RhoOfFamily evaluates ρ for a constructed family member, checking

@@ -9,8 +9,13 @@ import (
 // CheckRE reports whether g is a Remove Equilibrium: no agent strictly
 // improves by removing a single incident edge.
 func CheckRE(gm game.Game, g *graph.Graph) Result {
-	c := newChecker(gm, g)
-	for _, e := range g.Edges() {
+	var c checker
+	c.reset(gm, g)
+	return c.checkRE()
+}
+
+func (c *checker) checkRE() Result {
+	for _, e := range c.g.Edges() {
 		for _, u := range []int{e.U, e.V} {
 			m := move.Remove{U: u, V: e.Other(u)}
 			if c.tryMove(m) {
@@ -24,10 +29,15 @@ func CheckRE(gm game.Game, g *graph.Graph) Result {
 // CheckBAE reports whether g is a Bilateral Add Equilibrium: no two agents
 // both strictly improve by jointly adding the edge between them.
 func CheckBAE(gm game.Game, g *graph.Graph) Result {
-	c := newChecker(gm, g)
-	for u := 0; u < g.N(); u++ {
-		for v := u + 1; v < g.N(); v++ {
-			if g.HasEdge(u, v) {
+	var c checker
+	c.reset(gm, g)
+	return c.checkBAE()
+}
+
+func (c *checker) checkBAE() Result {
+	for u := 0; u < c.g.N(); u++ {
+		for v := u + 1; v < c.g.N(); v++ {
+			if c.g.HasEdge(u, v) {
 				continue
 			}
 			m := move.Add{U: u, V: v}
@@ -41,22 +51,33 @@ func CheckBAE(gm game.Game, g *graph.Graph) Result {
 
 // CheckPS reports Pairwise Stability: RE and BAE.
 func CheckPS(gm game.Game, g *graph.Graph) Result {
-	if r := CheckRE(gm, g); !r.Stable {
+	var c checker
+	c.reset(gm, g)
+	return c.checkPS()
+}
+
+func (c *checker) checkPS() Result {
+	if r := c.checkRE(); !r.Stable {
 		return r
 	}
-	return CheckBAE(gm, g)
+	return c.checkBAE()
 }
 
 // CheckBSwE reports whether g is a Bilateral Swap Equilibrium: no agent u
 // with neighbor v and non-neighbor w such that swapping uv for uw strictly
 // improves both u and w.
 func CheckBSwE(gm game.Game, g *graph.Graph) Result {
-	c := newChecker(gm, g)
-	for u := 0; u < g.N(); u++ {
-		neighbors := append([]int(nil), g.Neighbors(u)...)
+	var c checker
+	c.reset(gm, g)
+	return c.checkBSwE()
+}
+
+func (c *checker) checkBSwE() Result {
+	for u := 0; u < c.g.N(); u++ {
+		neighbors := append([]int(nil), c.g.Neighbors(u)...)
 		for _, v := range neighbors {
-			for w := 0; w < g.N(); w++ {
-				if w == u || w == v || g.HasEdge(u, w) {
+			for w := 0; w < c.g.N(); w++ {
+				if w == u || w == v || c.g.HasEdge(u, w) {
 					continue
 				}
 				m := move.Swap{U: u, Old: v, New: w}
@@ -71,10 +92,16 @@ func CheckBSwE(gm game.Game, g *graph.Graph) Result {
 
 // CheckBGE reports Bilateral Greedy Equilibrium: PS and BSwE.
 func CheckBGE(gm game.Game, g *graph.Graph) Result {
-	if r := CheckPS(gm, g); !r.Stable {
+	var c checker
+	c.reset(gm, g)
+	return c.checkBGE()
+}
+
+func (c *checker) checkBGE() Result {
+	if r := c.checkPS(); !r.Stable {
 		return r
 	}
-	return CheckBSwE(gm, g)
+	return c.checkBSwE()
 }
 
 // CheckBNE reports whether g is a Bilateral Neighborhood Equilibrium: for
@@ -85,13 +112,18 @@ func CheckBGE(gm game.Game, g *graph.Graph) Result {
 // The search enumerates all 2^{deg(u)} × 2^{n-1-deg(u)} (R, A) pairs per
 // agent; it is exact and intended for n up to roughly 16.
 func CheckBNE(gm game.Game, g *graph.Graph) Result {
-	c := newChecker(gm, g)
-	n := g.N()
+	var c checker
+	c.reset(gm, g)
+	return c.checkBNE()
+}
+
+func (c *checker) checkBNE() Result {
+	n := c.g.N()
 	for u := 0; u < n; u++ {
-		neighbors := append([]int(nil), g.Neighbors(u)...)
+		neighbors := append([]int(nil), c.g.Neighbors(u)...)
 		var nonNeighbors []int
 		for v := 0; v < n; v++ {
-			if v != u && !g.HasEdge(u, v) {
+			if v != u && !c.g.HasEdge(u, v) {
 				nonNeighbors = append(nonNeighbors, v)
 			}
 		}

@@ -5,6 +5,13 @@
 //
 // Every checker returns a Result carrying a witness move when the state is
 // unstable, so tests and experiments can assert on the violation itself.
+//
+// The package-level Check* functions allocate fresh working buffers per
+// call. Hot loops that evaluate many states — notably the parallel sweep
+// engine in repro/internal/sweep — use an Evaluator instead, which reuses
+// its BFS and baseline-cost buffers across calls. Checkers explore moves by
+// mutating the graph in place and undoing, so neither an Evaluator nor a
+// Graph under evaluation may be shared between goroutines.
 package eq
 
 import (
@@ -75,28 +82,31 @@ func unstable(w move.Move) Result { return Result{Stable: false, Witness: w} }
 // Check dispatches to the exact checker for the concept. BSE uses
 // coalitions of size up to n.
 func Check(gm game.Game, g *graph.Graph, c Concept) Result {
-	switch c {
-	case RE:
-		return CheckRE(gm, g)
-	case BAE:
-		return CheckBAE(gm, g)
-	case PS:
-		return CheckPS(gm, g)
-	case BSwE:
-		return CheckBSwE(gm, g)
-	case BGE:
-		return CheckBGE(gm, g)
-	case BNE:
-		return CheckBNE(gm, g)
-	case TwoBSE:
-		return CheckKBSE(gm, g, 2)
-	case ThreeBSE:
-		return CheckKBSE(gm, g, 3)
-	case BSE:
-		return CheckKBSE(gm, g, g.N())
-	default:
-		panic(fmt.Sprintf("eq: unknown concept %d", int(c)))
-	}
+	var ch checker
+	ch.reset(gm, g)
+	return ch.check(c)
+}
+
+// Evaluator is a reusable equilibrium evaluator: it keeps the BFS buffer
+// and baseline-cost slice alive between calls, so sweeps over many states
+// pay one allocation per worker instead of one per state.
+//
+// An Evaluator is deliberately not safe for concurrent use — and neither is
+// the Graph it evaluates, because checkers apply candidate moves in place
+// (always undoing them before returning). A parallel sweep therefore gives
+// each worker goroutine its own Evaluator and its own private Graph clone.
+type Evaluator struct {
+	c checker
+}
+
+// NewEvaluator returns an Evaluator for use by a single goroutine.
+func NewEvaluator() *Evaluator { return &Evaluator{} }
+
+// Check evaluates concept c on state g at game gm, reusing the evaluator's
+// buffers. It is equivalent to the package-level Check.
+func (ev *Evaluator) Check(gm game.Game, g *graph.Graph, c Concept) Result {
+	ev.c.reset(gm, g)
+	return ev.c.check(c)
 }
 
 // checker bundles the state shared by the exact checkers: the game, the
@@ -108,17 +118,48 @@ type checker struct {
 	dist []int
 }
 
-func newChecker(gm game.Game, g *graph.Graph) *checker {
-	c := &checker{
-		gm:   gm,
-		g:    g,
-		base: make([]game.Cost, g.N()),
-		dist: make([]int, g.N()),
+// reset points the checker at a new state and recomputes the baseline agent
+// costs, growing the buffers only when the node count does.
+func (c *checker) reset(gm game.Game, g *graph.Graph) {
+	c.gm = gm
+	c.g = g
+	n := g.N()
+	if cap(c.base) < n {
+		c.base = make([]game.Cost, n)
+		c.dist = make([]int, n)
 	}
-	for u := 0; u < g.N(); u++ {
-		c.base[u] = gm.AgentCost(g, u)
+	c.base = c.base[:n]
+	c.dist = c.dist[:n]
+	for u := 0; u < n; u++ {
+		g.BFSInto(u, c.dist)
+		c.base[u] = gm.AgentCostFromDist(g, u, c.dist)
 	}
-	return c
+}
+
+// check dispatches to the per-concept checker method.
+func (c *checker) check(concept Concept) Result {
+	switch concept {
+	case RE:
+		return c.checkRE()
+	case BAE:
+		return c.checkBAE()
+	case PS:
+		return c.checkPS()
+	case BSwE:
+		return c.checkBSwE()
+	case BGE:
+		return c.checkBGE()
+	case BNE:
+		return c.checkBNE()
+	case TwoBSE:
+		return c.checkKBSE(2)
+	case ThreeBSE:
+		return c.checkKBSE(3)
+	case BSE:
+		return c.checkKBSE(c.g.N())
+	default:
+		panic(fmt.Sprintf("eq: unknown concept %d", int(concept)))
+	}
 }
 
 // cost returns agent u's cost in the current (possibly mutated) graph.

@@ -14,7 +14,8 @@ import (
 // can certify specific witness moves on instances too large for the
 // exhaustive checks (e.g. the Figure 5 and Figure 7 gadgets).
 func Improving(gm game.Game, g *graph.Graph, m move.Move) bool {
-	c := newChecker(gm, g)
+	var c checker
+	c.reset(gm, g)
 	return c.tryMove(m)
 }
 

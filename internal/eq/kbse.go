@@ -16,13 +16,18 @@ import (
 // Complexity is exponential; it is intended for n ≤ 6 at k = n and n ≤ ~12
 // for k ≤ 3.
 func CheckKBSE(gm game.Game, g *graph.Graph, k int) Result {
+	var c checker
+	c.reset(gm, g)
+	return c.checkKBSE(k)
+}
+
+func (c *checker) checkKBSE(k int) Result {
 	if k < 1 {
 		return stable()
 	}
-	if k > g.N() {
-		k = g.N()
+	if k > c.g.N() {
+		k = c.g.N()
 	}
-	c := newChecker(gm, g)
 	members := make([]int, 0, k)
 	if w, ok := searchCoalitions(c, 0, members, k); ok {
 		return unstable(w)

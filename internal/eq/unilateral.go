@@ -34,7 +34,8 @@ func CheckUnilateralRE(gm game.Game, g *graph.Graph, o *game.Ownership) Result {
 // unilateral NCG: no agent strictly improves by buying a single new edge on
 // her own. Ownership is irrelevant: the buyer pays α regardless.
 func CheckUnilateralAE(gm game.Game, g *graph.Graph) Result {
-	c := newChecker(gm, g)
+	var c checker
+	c.reset(gm, g)
 	for u := 0; u < g.N(); u++ {
 		for v := 0; v < g.N(); v++ {
 			if v == u || g.HasEdge(u, v) {
@@ -120,7 +121,8 @@ func CheckUnilateralNE(gm game.Game, g *graph.Graph, o *game.Ownership) Result {
 // Parkes) implies this is equivalent to CheckRE; the experiments verify
 // that equivalence.
 func CheckMultiRemove(gm game.Game, g *graph.Graph) Result {
-	c := newChecker(gm, g)
+	var c checker
+	c.reset(gm, g)
 	for u := 0; u < g.N(); u++ {
 		neighbors := append([]int(nil), g.Neighbors(u)...)
 		for mask := 1; mask < 1<<len(neighbors); mask++ {

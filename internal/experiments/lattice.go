@@ -8,6 +8,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/graph"
 	"repro/internal/move"
+	"repro/internal/sweep"
 )
 
 func init() {
@@ -46,34 +47,39 @@ func runF1aLattice(s Scale) *Report {
 	stableCount := make(map[eq.Concept]int)
 	// properWitness[from→to] records a graph stable for `to` but not `from`.
 	properWitness := make(map[string]string)
-	checked := 0
-	for _, alpha := range latticeAlphas() {
-		gm, err := game.NewGame(n, alpha)
-		if err != nil {
-			r.addCheck("setup", false, "%v", err)
-			return r
-		}
-		graph.Enumerate(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}, func(g *graph.Graph) {
-			checked++
-			st := make(map[eq.Concept]bool, len(eq.Concepts()))
-			for _, c := range eq.Concepts() {
-				st[c] = eq.Check(gm, g, c).Stable
-				if st[c] {
-					stableCount[c]++
-				}
-			}
-			for _, imp := range implications {
-				if st[imp.from] && !st[imp.to] {
-					violations++
-				}
-				key := fmt.Sprintf("%s⊊%s", imp.from, imp.to)
-				if _, have := properWitness[key]; !have && st[imp.to] && !st[imp.from] {
-					properWitness[key] = fmt.Sprintf("α=%s %s", alpha, g)
-				}
-			}
-		})
+	// One engine sweep replaces the per-α sequential enumerations; the
+	// α-major item order matches the loop nest it replaced, so the report
+	// (counts, first proper witnesses) is unchanged.
+	res, err := sweep.Run(sweep.Options{
+		N:        n,
+		Alphas:   latticeAlphas(),
+		Concepts: eq.Concepts(),
+		Cache:    sweep.Shared(),
+	})
+	if err != nil {
+		r.addCheck("setup", false, "%v", err)
+		return r
 	}
-	r.addLinef("checked %d (graph, α) pairs at n=%d", checked, n)
+	for _, it := range res.Items {
+		alpha := res.Alphas[it.AlphaIndex]
+		st := make(map[eq.Concept]bool, len(res.Concepts))
+		for i, c := range res.Concepts {
+			st[c] = it.Vector.Stable(i)
+			if st[c] {
+				stableCount[c]++
+			}
+		}
+		for _, imp := range implications {
+			if st[imp.from] && !st[imp.to] {
+				violations++
+			}
+			key := fmt.Sprintf("%s⊊%s", imp.from, imp.to)
+			if _, have := properWitness[key]; !have && st[imp.to] && !st[imp.from] {
+				properWitness[key] = fmt.Sprintf("α=%s %s", alpha, it.Graph)
+			}
+		}
+	}
+	r.addLinef("checked %d (graph, α) pairs at n=%d", len(res.Items), n)
 	for _, c := range eq.Concepts() {
 		r.addLinef("  %-6s stable in %d cases", c, stableCount[c])
 	}
@@ -145,29 +151,35 @@ func verifyNamedSeparations(r *Report) {
 // grid and reports the smallest witness per region.
 func runF1bVenn(s Scale) *Report {
 	r := &Report{ID: "F1b", Title: "Figure 1b: Venn regions of RE / BAE / BSwE"}
-	maxN := 5
-	if s == Full {
-		maxN = 6
-	}
+	// Full scale at every scale: the three concepts here are the polynomial
+	// checkers, so on the sweep engine the n=6 stream costs well under a
+	// second — and the loop still stops at the smallest witnesses.
+	maxN := 6
 	type region struct{ re, bae, bswe bool }
 	witness := make(map[region]string)
 	for n := 3; n <= maxN; n++ {
-		for _, alpha := range latticeAlphas() {
-			gm, err := game.NewGame(n, alpha)
-			if err != nil {
-				r.addCheck("setup", false, "%v", err)
-				return r
+		// One three-concept engine sweep per size; α-major item order keeps
+		// the first-witness-per-region selection identical to the
+		// sequential loops it replaced.
+		res, err := sweep.Run(sweep.Options{
+			N:        n,
+			Alphas:   latticeAlphas(),
+			Concepts: []eq.Concept{eq.RE, eq.BAE, eq.BSwE},
+			Cache:    sweep.Shared(),
+		})
+		if err != nil {
+			r.addCheck("setup", false, "%v", err)
+			return r
+		}
+		for _, it := range res.Items {
+			key := region{
+				re:   it.Vector.Stable(0),
+				bae:  it.Vector.Stable(1),
+				bswe: it.Vector.Stable(2),
 			}
-			graph.Enumerate(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}, func(g *graph.Graph) {
-				key := region{
-					re:   eq.CheckRE(gm, g).Stable,
-					bae:  eq.CheckBAE(gm, g).Stable,
-					bswe: eq.CheckBSwE(gm, g).Stable,
-				}
-				if _, have := witness[key]; !have {
-					witness[key] = fmt.Sprintf("n=%d α=%s %s", n, alpha, g)
-				}
-			})
+			if _, have := witness[key]; !have {
+				witness[key] = fmt.Sprintf("n=%d α=%s %s", n, res.Alphas[it.AlphaIndex], it.Graph)
+			}
 		}
 		if len(witness) == 8 {
 			break

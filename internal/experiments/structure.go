@@ -9,6 +9,7 @@ import (
 	"repro/internal/game"
 	"repro/internal/graph"
 	"repro/internal/move"
+	"repro/internal/sweep"
 	"repro/internal/tree"
 )
 
@@ -211,37 +212,48 @@ func runP316LowAlpha(s Scale) *Report {
 	r := &Report{ID: "P3.16", Title: "Prop 3.16: BSE structure across α regimes"}
 	maxN := 5
 	for n := 4; n <= maxN; n++ {
-		gmHalf, _ := game.NewGame(n, game.AFrac(1, 2))
+		// One engine sweep covers all three α regimes; the BSE verdicts land
+		// in the shared canonical-form cache for the other experiments.
+		res, err := sweep.Run(sweep.Options{
+			N:        n,
+			Alphas:   []game.Alpha{game.AFrac(1, 2), game.A(1), game.A(2)},
+			Concepts: []eq.Concept{eq.BSE},
+			Cache:    sweep.Shared(),
+		})
+		if err != nil {
+			r.addCheck("setup", false, "%v", err)
+			return r
+		}
 		cliqueOnly := true
 		stable := 0
-		graph.Enumerate(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}, func(g *graph.Graph) {
-			if eq.CheckKBSE(gmHalf, g, n).Stable {
-				stable++
-				if g.M() != n*(n-1)/2 {
-					cliqueOnly = false
+		diamMatches := true
+		others := 0
+		for _, it := range res.Items {
+			bse := it.Vector.Stable(0)
+			switch it.AlphaIndex {
+			case 0: // α = 1/2
+				if bse {
+					stable++
+					if it.Graph.M() != n*(n-1)/2 {
+						cliqueOnly = false
+					}
+				}
+			case 1: // α = 1
+				if bse != (it.Graph.Diameter() <= 2) {
+					diamMatches = false
+				}
+			case 2: // α = 2
+				if bse {
+					others++
 				}
 			}
-		})
+		}
 		r.addCheck("clique only below 1", cliqueOnly && stable == 1,
 			"n=%d α=1/2: %d BSE graphs", n, stable)
-
-		gmOne, _ := game.NewGame(n, game.A(1))
-		diamMatches := true
-		graph.Enumerate(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}, func(g *graph.Graph) {
-			if eq.CheckKBSE(gmOne, g, n).Stable != (g.Diameter() <= 2) {
-				diamMatches = false
-			}
-		})
 		r.addCheck("diameter 2 at 1", diamMatches, "n=%d α=1: BSE ⇔ diam ≤ 2", n)
 
 		gmTwo, _ := game.NewGame(n, game.A(2))
 		starStable := eq.CheckKBSE(gmTwo, game.Star(n), n).Stable
-		others := 0
-		graph.Enumerate(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}, func(g *graph.Graph) {
-			if eq.CheckKBSE(gmTwo, g, n).Stable {
-				others++
-			}
-		})
 		r.addCheck("star and others above 1", starStable && others >= 2,
 			"n=%d α=2: star BSE plus %d total BSE classes", n, others)
 	}

@@ -23,6 +23,13 @@ func Encode(g *Graph) string {
 	return b.String()
 }
 
+// MaxDecodeNodes caps the node count Decode accepts, so malformed or
+// hostile input cannot force a multi-gigabyte allocation before a single
+// edge is read (found by FuzzCanonicalCacheKey). The largest constructed
+// family in the repository — the Section 3.3 d-ary curves at n = 2^20 —
+// fits with headroom.
+const MaxDecodeNodes = 1 << 22
+
 // Decode parses the format produced by Encode. Blank lines and lines
 // starting with '#' are ignored.
 func Decode(s string) (*Graph, error) {
@@ -47,6 +54,9 @@ func Decode(s string) (*Graph, error) {
 			n, err := strconv.Atoi(fields[1])
 			if err != nil || n < 0 {
 				return nil, fmt.Errorf("graph: line %d: bad node count %q", lineNo, fields[1])
+			}
+			if n > MaxDecodeNodes {
+				return nil, fmt.Errorf("graph: line %d: node count %d exceeds the decode cap %d", lineNo, n, MaxDecodeNodes)
 			}
 			g = New(n)
 			continue

@@ -47,6 +47,7 @@ func TestDecodeErrors(t *testing.T) {
 		{name: "out of range", in: "n 3\n0 9\n"},
 		{name: "duplicate n", in: "n 3\nn 3\n"},
 		{name: "duplicate edge", in: "n 3\n0 1\n1 0\n"},
+		{name: "over decode cap", in: "n 75555555500\n"},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

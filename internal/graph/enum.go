@@ -17,6 +17,14 @@ type EnumOptions struct {
 // the labeled space has 2^(n(n-2)/2) members and isomorphism reduction uses
 // CanonicalKey.
 func Enumerate(n int, opts EnumOptions, yield func(*Graph)) int {
+	return EnumerateKeyed(n, opts, func(g *Graph, _ string) { yield(g) })
+}
+
+// EnumerateKeyed is Enumerate, additionally passing each yielded graph's
+// canonical key — computed anyway for the isomorphism reduction — so
+// canonical-form caches downstream need not recompute it. When UpToIso is
+// false no canonical form is computed and the key argument is empty.
+func EnumerateKeyed(n int, opts EnumOptions, yield func(*Graph, string)) int {
 	if n < 0 {
 		return 0
 	}
@@ -37,15 +45,16 @@ func Enumerate(n int, opts EnumOptions, yield func(*Graph)) int {
 		if opts.ConnectedOnly && !g.Connected() {
 			continue
 		}
+		key := ""
 		if opts.UpToIso {
-			key := g.CanonicalKey()
+			key = g.CanonicalKey()
 			if seen[key] {
 				continue
 			}
 			seen[key] = true
 		}
 		count++
-		yield(g)
+		yield(g, key)
 	}
 	return count
 }

@@ -13,6 +13,7 @@ func FuzzDecode(f *testing.F) {
 	f.Add("n 5\n0 1\n0 2\n0 3\n0 4\n")
 	f.Add("n -1\n")
 	f.Add("0 1\nn 2\n")
+	f.Add("n 75555555500") // over the decode cap; must error, not allocate
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := Decode(input)
 		if err != nil {

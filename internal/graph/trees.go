@@ -108,11 +108,19 @@ func PruferEncode(g *Graph) ([]int, error) {
 // Implementation: Beyer–Hedetniemi level-sequence generation of all rooted
 // trees, reduced to free trees by AHU canonical hashing at the tree center.
 func FreeTrees(n int, yield func(*Graph)) int {
+	return FreeTreesKeyed(n, func(g *Graph, _ string) { yield(g) })
+}
+
+// FreeTreesKeyed is FreeTrees, additionally passing each tree's canonical
+// FreeTreeKey — computed anyway for the isomorphism reduction — so
+// canonical-form caches downstream need not recompute it.
+func FreeTreesKeyed(n int, yield func(*Graph, string)) int {
 	if n <= 0 {
 		return 0
 	}
 	if n == 1 {
-		yield(New(1))
+		g := New(1)
+		yield(g, FreeTreeKey(g))
 		return 1
 	}
 	seen := make(map[string]bool)
@@ -125,7 +133,7 @@ func FreeTrees(n int, yield func(*Graph)) int {
 		}
 		seen[key] = true
 		count++
-		yield(g)
+		yield(g, key)
 	})
 	return count
 }

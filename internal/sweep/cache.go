@@ -1,0 +1,99 @@
+package sweep
+
+import (
+	"sync"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+)
+
+// Key identifies one memoized stability verdict: the canonical form of the
+// graph, the exact (reduced) edge price, and the solution concept.
+//
+// Stability is an isomorphism invariant — the cost function depends only on
+// degrees and distances — so one verdict per canonical form is sound. The
+// two canonical encodings in use cannot collide with each other: CanonicalKey
+// strings are over the bytes {0x00, 0x01} and FreeTreeKey strings over
+// "()". Witness moves, by contrast, are label-dependent and therefore never
+// cached; cached verdicts carry the stability bit only.
+type Key struct {
+	Canon    string
+	Num, Den int64
+	Concept  eq.Concept
+}
+
+// Cache memoizes per-concept stability verdicts across sweeps. It is safe
+// for concurrent use by any number of sweep workers.
+type Cache struct {
+	mu sync.RWMutex
+	m  map[Key]bool
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[Key]bool)}
+}
+
+var shared = NewCache()
+
+// Shared returns the process-wide cache used by the experiment runners and
+// the PoA searches, so repeated gadgets and overlapping α grids across
+// experiments reuse verdicts instead of re-running coalition search.
+func Shared() *Cache { return shared }
+
+// Get returns the memoized verdict for k, if present.
+func (c *Cache) Get(k Key) (stable, ok bool) {
+	c.mu.RLock()
+	stable, ok = c.m[k]
+	c.mu.RUnlock()
+	return stable, ok
+}
+
+// Put memoizes a verdict.
+func (c *Cache) Put(k Key, stable bool) {
+	c.mu.Lock()
+	c.m[k] = stable
+	c.mu.Unlock()
+}
+
+// Len returns the number of memoized verdicts.
+func (c *Cache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// lookup fetches the verdicts for every concept under one read lock. It
+// returns the stable bits of the cached concepts and the mask of concepts
+// that still need computing.
+func (c *Cache) lookup(canon string, alpha game.Alpha, concepts []eq.Concept) (vec, missing Vector) {
+	k := Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den()}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	for i, concept := range concepts {
+		k.Concept = concept
+		stable, ok := c.m[k]
+		if !ok {
+			missing |= 1 << i
+			continue
+		}
+		if stable {
+			vec |= 1 << i
+		}
+	}
+	return vec, missing
+}
+
+// store memoizes the verdicts selected by mask under one write lock.
+func (c *Cache) store(canon string, alpha game.Alpha, concepts []eq.Concept, mask, vec Vector) {
+	k := Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, concept := range concepts {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		k.Concept = concept
+		c.m[k] = vec&(1<<i) != 0
+	}
+}

@@ -1,0 +1,292 @@
+// Package sweep implements a parallel sweep engine for the exhaustive
+// experiments: it shards an isomorphism-free graph stream (all connected
+// graphs or all free trees on n nodes) across a worker pool and evaluates a
+// grid of edge prices × solution concepts on every graph with the exact
+// checkers of package eq.
+//
+// Three properties make the engine safe to drop under the paper-reproduction
+// experiments:
+//
+//   - Determinism. Results are indexed by (α, graph) task id, so Items and
+//     Report are byte-identical for every worker count. Nothing about
+//     scheduling leaks into the output.
+//   - Isolation. Checkers mutate the graph under test while exploring moves,
+//     so each task evaluates a private clone with a per-worker Evaluator;
+//     the enumeration representatives handed back in Items are never
+//     mutated.
+//   - Memoization. Stability is an isomorphism invariant, so verdicts are
+//     cached under (canonical form, α, concept). Repeated gadgets and
+//     overlapping α grids across sweeps hit the cache instead of re-running
+//     coalition search. The cache can only reuse verdicts, never change
+//     them; the differential tests pin cached and parallel sweeps to the
+//     sequential checkers bit for bit.
+//
+// Workers claim tasks from a shared atomic counter — idle workers steal the
+// next undone (α, graph) pair, so a single expensive BSE instance cannot
+// stall the rest of the grid behind a static partition.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// Source selects the graph stream a sweep shards across its workers.
+type Source int
+
+const (
+	// Graphs streams every connected graph on N nodes, up to isomorphism.
+	Graphs Source = iota
+	// Trees streams every free tree on N nodes.
+	Trees
+)
+
+// String implements fmt.Stringer.
+func (s Source) String() string {
+	switch s {
+	case Graphs:
+		return "graphs"
+	case Trees:
+		return "trees"
+	default:
+		return fmt.Sprintf("Source(%d)", int(s))
+	}
+}
+
+// Options configures a sweep.
+type Options struct {
+	// N is the node count of the enumerated graphs.
+	N int
+	// Alphas is the edge-price grid; every graph is evaluated at every α.
+	Alphas []game.Alpha
+	// Concepts are the solution concepts checked per (graph, α) pair. At
+	// most 16, so a stability vector fits a Vector.
+	Concepts []eq.Concept
+	// Workers is the worker-pool size; values <= 0 select GOMAXPROCS.
+	Workers int
+	// Source selects connected graphs (the default) or free trees.
+	Source Source
+	// Cache, when non-nil, memoizes verdicts across sweeps under
+	// (canonical form, α, concept). Nil disables memoization.
+	Cache *Cache
+	// Rho additionally computes the social cost ratio ρ of every graph,
+	// for Price-of-Anarchy reductions over the sweep.
+	Rho bool
+}
+
+// Vector is a stability bit vector over a sweep's concept grid: bit i is
+// set iff the state is stable for Concepts[i].
+type Vector uint16
+
+// Stable reports whether bit i is set.
+func (v Vector) Stable(i int) bool { return v&(1<<i) != 0 }
+
+// Item is the outcome for one (α, graph) task.
+type Item struct {
+	// AlphaIndex and GraphIndex locate the task on the sweep grid.
+	AlphaIndex, GraphIndex int
+	// Graph is the enumeration representative. It is shared with every
+	// item of the same GraphIndex and must not be mutated.
+	Graph *graph.Graph
+	// Vector holds the stability verdicts, bit i for Concepts[i].
+	Vector Vector
+	// Rho is the social cost ratio, when Options.Rho was set.
+	Rho float64
+	// FromCache reports that every verdict was served by the cache.
+	FromCache bool
+}
+
+// Result is the outcome of a sweep.
+type Result struct {
+	N        int
+	Source   Source
+	Alphas   []game.Alpha
+	Concepts []eq.Concept
+	// Workers is the resolved pool size that ran the sweep. It never
+	// influences Items or Report.
+	Workers int
+	// Graphs counts the isomorphism classes in the stream.
+	Graphs int
+	// Items holds one entry per (α, graph) pair in deterministic α-major
+	// order: Items[ai*Graphs+gi] is graph gi at Alphas[ai], with graphs in
+	// enumeration order.
+	Items []Item
+	// Hits and Misses count per-concept verdicts served by the cache and
+	// computed by checkers, respectively.
+	Hits, Misses int64
+}
+
+// Run executes the sweep described by opts.
+func Run(opts Options) (*Result, error) {
+	if opts.N < 1 {
+		return nil, fmt.Errorf("sweep: need at least one node, got %d", opts.N)
+	}
+	if len(opts.Alphas) == 0 {
+		return nil, fmt.Errorf("sweep: empty α grid")
+	}
+	if len(opts.Concepts) == 0 {
+		return nil, fmt.Errorf("sweep: no concepts to check")
+	}
+	if len(opts.Concepts) > 16 {
+		return nil, fmt.Errorf("sweep: %d concepts exceed the 16-bit vector", len(opts.Concepts))
+	}
+	games := make([]game.Game, len(opts.Alphas))
+	for i, alpha := range opts.Alphas {
+		gm, err := game.NewGame(opts.N, alpha)
+		if err != nil {
+			return nil, err
+		}
+		games[i] = gm
+	}
+
+	// Materialize the isomorphism-free stream once; the per-graph canonical
+	// keys come for free from the enumeration's own reduction.
+	var graphs []*graph.Graph
+	var keys []string
+	collect := func(g *graph.Graph, key string) {
+		graphs = append(graphs, g)
+		keys = append(keys, key)
+	}
+	switch opts.Source {
+	case Graphs:
+		graph.EnumerateKeyed(opts.N, graph.EnumOptions{
+			ConnectedOnly: true,
+			UpToIso:       true,
+			MaxEdges:      -1,
+		}, collect)
+	case Trees:
+		graph.FreeTreesKeyed(opts.N, collect)
+	default:
+		return nil, fmt.Errorf("sweep: unknown source %v", opts.Source)
+	}
+
+	res := &Result{
+		N:        opts.N,
+		Source:   opts.Source,
+		Alphas:   opts.Alphas,
+		Concepts: opts.Concepts,
+		Workers:  opts.Workers,
+		Graphs:   len(graphs),
+		Items:    make([]Item, len(graphs)*len(opts.Alphas)),
+	}
+	if res.Workers <= 0 {
+		res.Workers = runtime.GOMAXPROCS(0)
+	}
+
+	allMask := Vector(1)<<len(opts.Concepts) - 1
+	var next, hits, misses atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < res.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ev := eq.NewEvaluator()
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= len(res.Items) {
+					return
+				}
+				ai, gi := t/len(graphs), t%len(graphs)
+				g := graphs[gi]
+				it := Item{AlphaIndex: ai, GraphIndex: gi, Graph: g}
+				vec, missing := Vector(0), allMask
+				if opts.Cache != nil {
+					vec, missing = opts.Cache.lookup(keys[gi], opts.Alphas[ai], opts.Concepts)
+				}
+				hits.Add(int64(popcount16(allMask &^ missing)))
+				misses.Add(int64(popcount16(missing)))
+				if missing == 0 {
+					it.FromCache = true
+				} else {
+					// Evaluate on a private clone: checkers mutate the
+					// graph while exploring moves.
+					h := g.Clone()
+					for i, concept := range opts.Concepts {
+						if missing&(1<<i) == 0 {
+							continue
+						}
+						if ev.Check(games[ai], h, concept).Stable {
+							vec |= 1 << i
+						}
+					}
+					if opts.Cache != nil {
+						opts.Cache.store(keys[gi], opts.Alphas[ai], opts.Concepts, missing, vec)
+					}
+				}
+				it.Vector = vec
+				if opts.Rho {
+					it.Rho = games[ai].Rho(g)
+				}
+				res.Items[t] = it
+			}
+		}()
+	}
+	wg.Wait()
+	res.Hits, res.Misses = hits.Load(), misses.Load()
+	return res, nil
+}
+
+// Report renders a deterministic summary: the stream size and, per α, how
+// many graphs are stable for each concept. Equal option grids produce
+// byte-identical reports for every worker count and cache state.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep n=%d source=%s: %d graphs × %d α × %d concepts\n",
+		r.N, r.Source, r.Graphs, len(r.Alphas), len(r.Concepts))
+	fmt.Fprintf(&b, "%8s", "α")
+	for _, c := range r.Concepts {
+		fmt.Fprintf(&b, " %6s", c)
+	}
+	b.WriteByte('\n')
+	for ai, alpha := range r.Alphas {
+		counts := make([]int, len(r.Concepts))
+		for gi := 0; gi < r.Graphs; gi++ {
+			vec := r.Items[ai*r.Graphs+gi].Vector
+			for i := range counts {
+				if vec.Stable(i) {
+					counts[i]++
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%8s", alpha)
+		for _, c := range counts {
+			fmt.Fprintf(&b, " %6d", c)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// WorstStable reduces one grid cell to its Price-of-Anarchy outcome: the
+// maximal ρ over the graphs stable for Concepts[ci] at Alphas[ai], the
+// first witness attaining it in enumeration order, and the count of stable
+// graphs. It requires a sweep run with Options.Rho.
+func (r *Result) WorstStable(ai, ci int) (rho float64, witness *graph.Graph, stable int) {
+	for gi := 0; gi < r.Graphs; gi++ {
+		it := r.Items[ai*r.Graphs+gi]
+		if !it.Vector.Stable(ci) {
+			continue
+		}
+		stable++
+		if it.Rho > rho {
+			rho = it.Rho
+			witness = it.Graph
+		}
+	}
+	return rho, witness, stable
+}
+
+func popcount16(v Vector) int {
+	c := 0
+	for ; v != 0; v &= v - 1 {
+		c++
+	}
+	return c
+}
