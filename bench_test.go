@@ -1,6 +1,7 @@
 package bncg_test
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"testing"
@@ -20,7 +21,7 @@ func TestExperimentsQuick(t *testing.T) {
 	for _, id := range ids {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			rep, err := bncg.Experiment(id, bncg.Quick)
+			rep, err := bncg.Experiment(context.Background(), id, bncg.Quick)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -41,7 +42,7 @@ var reportOnce sync.Map
 func benchExperiment(b *testing.B, id string) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		rep, err := bncg.Experiment(id, bncg.Quick)
+		rep, err := bncg.Experiment(context.Background(), id, bncg.Quick)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -149,7 +150,7 @@ func BenchmarkTreeRho_100k(b *testing.B) {
 
 func BenchmarkWorstTreePS_n9(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := bncg.WorstTree(9, bncg.AlphaInt(9), bncg.PS); err != nil {
+		if _, err := bncg.WorstTree(context.Background(), 9, bncg.AlphaInt(9), bncg.PS); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -170,7 +171,7 @@ func sweepLatticeOptions(workers int, cache *bncg.SweepCache) bncg.SweepOptions 
 		},
 		Concepts: bncg.Concepts(),
 		Workers:  workers,
-		Cache:   cache,
+		Cache:    cache,
 	}
 }
 
@@ -179,7 +180,7 @@ func benchSweepLattice(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
 		// A fresh cache per iteration keeps every iteration a full
 		// computation rather than a cache replay.
-		res, err := bncg.RunSweep(sweepLatticeOptions(workers, bncg.NewSweepCache()))
+		res, err := bncg.RunSweep(context.Background(), sweepLatticeOptions(workers, bncg.NewSweepCache()))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -195,12 +196,12 @@ func BenchmarkSweepLatticeN6_WorkersNumCPU(b *testing.B) { benchSweepLattice(b, 
 
 func BenchmarkSweepLatticeN6_WarmCache(b *testing.B) {
 	cache := bncg.NewSweepCache()
-	if _, err := bncg.RunSweep(sweepLatticeOptions(runtime.NumCPU(), cache)); err != nil {
+	if _, err := bncg.RunSweep(context.Background(), sweepLatticeOptions(runtime.NumCPU(), cache)); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := bncg.RunSweep(sweepLatticeOptions(runtime.NumCPU(), cache))
+		res, err := bncg.RunSweep(context.Background(), sweepLatticeOptions(runtime.NumCPU(), cache))
 		if err != nil {
 			b.Fatal(err)
 		}

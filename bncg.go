@@ -150,17 +150,19 @@ type PoAResult = core.PoAResult
 
 var (
 	// WorstTree computes the exact PoA over all free trees on n nodes.
+	// Cancelling the context returns the partial reduction with ctx.Err().
 	WorstTree = core.WorstTree
 	// WorstGraph computes the exact PoA over all connected graphs.
+	// Cancelling the context returns the partial reduction with ctx.Err().
 	WorstGraph = core.WorstGraph
 	// TreeRho computes ρ(G) for a tree in O(n).
 	TreeRho = core.TreeRho
 )
 
-// Parallel sweep engine.
+// Parallel sweep engine (v2: context-aware, streaming).
 type (
 	// SweepOptions configures a parallel sweep over an isomorphism-free
-	// graph stream.
+	// graph stream, including the incremental OnItem/Progress hooks.
 	SweepOptions = sweep.Options
 	// SweepResult is the deterministic outcome of a sweep.
 	SweepResult = sweep.Result
@@ -182,14 +184,34 @@ const (
 )
 
 var (
-	// RunSweep executes a parallel sweep.
+	// RunSweep executes a parallel sweep. Cancelling the context stops it
+	// within one task granularity and returns the partial result with
+	// ctx.Err().
 	RunSweep = sweep.Run
+	// StreamSweep executes a parallel sweep and returns an iterator over
+	// its items, delivered incrementally in the deterministic α-major
+	// batch order; breaking out of the range cancels the sweep.
+	StreamSweep = sweep.Stream
 	// NewSweepCache returns an empty verdict cache.
 	NewSweepCache = sweep.NewCache
 	// SharedSweepCache returns the process-wide verdict cache the
 	// experiments and PoA searches share.
 	SharedSweepCache = sweep.Shared
 )
+
+// Iterator enumeration (v2). Both iterators support early break, which
+// stops the underlying generation immediately.
+var (
+	// AllGraphs returns an iterator over the graphs on n nodes matching
+	// the enumeration options, paired with canonical keys under UpToIso.
+	AllGraphs = graph.All
+	// AllFreeTrees returns an iterator over the free trees on n nodes (one
+	// representative per isomorphism class), paired with canonical keys.
+	AllFreeTrees = graph.AllFreeTrees
+)
+
+// EnumOptions controls AllGraphs enumeration.
+type EnumOptions = graph.EnumOptions
 
 // Dynamics.
 type (
@@ -209,8 +231,12 @@ const (
 )
 
 var (
-	// RunDynamics applies improving moves until convergence.
+	// RunDynamics applies improving moves until convergence, the step
+	// bound, or context cancellation (which returns the partial trace).
+	// A nil Options.Rng defaults to a fixed-seed source.
 	RunDynamics = dynamics.Run
+	// SampleDynamics summarizes dynamics runs from random starting graphs.
+	SampleDynamics = dynamics.Sample
 )
 
 // Experiments.
@@ -229,7 +255,8 @@ const (
 
 var (
 	// Experiment runs the reproduction experiment with the given ID (see
-	// DESIGN.md §4 for the inventory).
+	// DESIGN.md §4 for the inventory). Cancelling the context returns the
+	// partial report with ctx.Err().
 	Experiment = experiments.Run
 	// ExperimentIDs lists all experiment IDs.
 	ExperimentIDs = experiments.IDs

@@ -1,6 +1,7 @@
 package bncg_test
 
 import (
+	"context"
 	"testing"
 
 	bncg "repro"
@@ -38,7 +39,7 @@ func TestFacadeGraphRoundTrip(t *testing.T) {
 }
 
 func TestFacadePoA(t *testing.T) {
-	res, err := bncg.WorstTree(7, bncg.AlphaInt(4), bncg.PS)
+	res, err := bncg.WorstTree(context.Background(), 7, bncg.AlphaInt(4), bncg.PS)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -68,7 +69,7 @@ func TestFacadeExperimentRegistry(t *testing.T) {
 	if len(ids) == 0 {
 		t.Fatal("no experiments registered")
 	}
-	rep, err := bncg.Experiment("F3", bncg.Quick)
+	rep, err := bncg.Experiment(context.Background(), "F3", bncg.Quick)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,125 @@
+// Command benchjson converts `go test -bench` output read from stdin into
+// a stable JSON document, so CI can archive benchmark runs (BENCH_sweep.json)
+// and the performance trajectory accumulates in a machine-readable form.
+//
+// Usage:
+//
+//	go test -run '^$' -bench Sweep -benchtime 1x -benchmem ./... | benchjson -out BENCH_sweep.json
+//
+// With no -out the JSON is written to stdout. Lines that are not benchmark
+// results contribute only to the captured environment header (goos, goarch,
+// pkg, cpu); unparseable lines are ignored, so the tool is safe to feed the
+// full `go test` output including PASS/ok trailers.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line in the emitted JSON schema.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Document is the emitted JSON root.
+type Document struct {
+	Goos    string   `json:"goos,omitempty"`
+	Goarch  string   `json:"goarch,omitempty"`
+	Pkg     string   `json:"pkg,omitempty"`
+	CPU     string   `json:"cpu,omitempty"`
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "output file (default: stdout)")
+	flag.Parse()
+	doc, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(r io.Reader) (*Document, error) {
+	doc := &Document{Results: []Result{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			doc.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			doc.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			doc.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			doc.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			if res, ok := parseResult(line); ok {
+				doc.Results = append(doc.Results, res)
+			}
+		}
+	}
+	return doc, sc.Err()
+}
+
+// parseResult decodes one benchmark line of the form
+//
+//	BenchmarkName-8  3  123456 ns/op  789 B/op  10 allocs/op
+func parseResult(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || fields[3] != "ns/op" {
+		return Result{}, false
+	}
+	res := Result{Name: fields[0]}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		val := fields[i]
+		unit := fields[i+1]
+		switch unit {
+		case "ns/op":
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				res.NsPerOp = f
+			}
+		case "B/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.BytesPerOp = v
+			}
+		case "allocs/op":
+			if v, err := strconv.ParseInt(val, 10, 64); err == nil {
+				res.AllocsPerOp = v
+			}
+		}
+	}
+	return res, res.NsPerOp > 0
+}

@@ -1,0 +1,47 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseBenchOutput(t *testing.T) {
+	in := `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Example CPU @ 2.00GHz
+BenchmarkSweepLatticeN6_Workers1-8          1        653861666 ns/op        5242880 B/op      40000 allocs/op
+BenchmarkSweepLatticeN6_WarmCache-8         1          5366167 ns/op
+PASS
+ok      repro   7.612s
+`
+	doc, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Goos != "linux" || doc.Goarch != "amd64" || doc.Pkg != "repro" || !strings.Contains(doc.CPU, "Example") {
+		t.Fatalf("header: %+v", doc)
+	}
+	if len(doc.Results) != 2 {
+		t.Fatalf("parsed %d results, want 2: %+v", len(doc.Results), doc.Results)
+	}
+	first := doc.Results[0]
+	if first.Name != "BenchmarkSweepLatticeN6_Workers1-8" || first.Iterations != 1 ||
+		first.NsPerOp != 653861666 || first.BytesPerOp != 5242880 || first.AllocsPerOp != 40000 {
+		t.Fatalf("first result: %+v", first)
+	}
+	second := doc.Results[1]
+	if second.NsPerOp != 5366167 || second.BytesPerOp != 0 {
+		t.Fatalf("second result: %+v", second)
+	}
+}
+
+func TestParseIgnoresGarbage(t *testing.T) {
+	doc, err := parse(strings.NewReader("hello\nBenchmarkBroken-8 x y z\n--- FAIL: nope\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Results) != 0 {
+		t.Fatalf("garbage produced results: %+v", doc.Results)
+	}
+}

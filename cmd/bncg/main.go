@@ -5,37 +5,72 @@
 //
 // Usage:
 //
-//	bncg list
-//	bncg experiment <id>|all [-full]
-//	bncg gen <family> [params...]
-//	bncg check -alpha <p[/q]> [-concept <name>] [-file <graph>]
-//	bncg cost -alpha <p[/q]> [-file <graph>]
-//	bncg poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs]
-//	bncg sweep [-n <nodes>] [-workers <w>] [-alphas <grid>] [-concepts <list>] [-trees]
+//	bncg [-timeout <d>] list
+//	bncg [-timeout <d>] experiment <id>|all [-full] [-json]
+//	bncg [-timeout <d>] gen <family> [params...]
+//	bncg [-timeout <d>] check -alpha <p[/q]> [-concept <name>] [-file <graph>]
+//	bncg [-timeout <d>] cost -alpha <p[/q]> [-file <graph>]
+//	bncg [-timeout <d>] poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs] [-json]
+//	bncg [-timeout <d>] sweep [-n <nodes>] [-workers <w>] [-alphas <grid>]
+//	     [-concepts <list>] [-trees] [-rho] [-json] [-progress]
+//
+// The global -timeout flag bounds the whole invocation; SIGINT (Ctrl-C)
+// cancels gracefully. In both cases the long-running subcommands (sweep,
+// poa, experiment) drain their workers, print the partial report computed
+// so far, and exit non-zero. A second SIGINT kills the process.
 //
 // Graphs are read in the plain text edge-list format ("n <count>" then one
 // "u v" pair per line); with no -file, standard input is read.
 package main
 
 import (
+	"context"
+	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	bncg "repro"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	go func() {
+		// Once the first signal has cancelled ctx, restore default signal
+		// handling so a second Ctrl-C force-kills a stuck drain.
+		<-ctx.Done()
+		stop()
+	}()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bncg:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
+	global := flag.NewFlagSet("bncg", flag.ContinueOnError)
+	timeout := global.Duration("timeout", 0, "global deadline for the whole invocation (0 = none)")
+	global.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: bncg [-timeout <d>] <subcommand> [flags]")
+		global.PrintDefaults()
+	}
+	// Flag parsing stops at the first non-flag argument, so global flags go
+	// before the subcommand and subcommand flags after it.
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	args = global.Args()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 	if len(args) == 0 {
 		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep)")
 	}
@@ -43,7 +78,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "list":
 		return runList(stdout)
 	case "experiment":
-		return runExperiment(args[1:], stdout)
+		return runExperiment(ctx, args[1:], stdout)
 	case "gen":
 		return runGen(args[1:], stdout)
 	case "check":
@@ -51,12 +86,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	case "cost":
 		return runCost(args[1:], stdin, stdout)
 	case "poa":
-		return runPoA(args[1:], stdout)
+		return runPoA(ctx, args[1:], stdout)
 	case "sweep":
-		return runSweep(args[1:], stdout)
+		return runSweep(ctx, args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
+}
+
+// interrupted reports whether err is a context cancellation or deadline —
+// the cases where a partial report has already been printed.
+func interrupted(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
 }
 
 func runList(stdout io.Writer) error {
@@ -67,9 +108,10 @@ func runList(stdout io.Writer) error {
 	return nil
 }
 
-func runExperiment(args []string, stdout io.Writer) error {
+func runExperiment(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("experiment", flag.ContinueOnError)
 	full := fs.Bool("full", false, "run at full scale (slower, extends sweeps)")
+	asJSON := fs.Bool("json", false, "emit reports as a JSON array instead of text")
 	// Accept flags before or after the experiment id.
 	var flags, positional []string
 	for _, a := range args {
@@ -93,16 +135,38 @@ func runExperiment(args []string, stdout io.Writer) error {
 	if positional[0] == "all" {
 		ids = bncg.ExperimentIDs()
 	}
+	var reports []*bncg.ExperimentReport
 	failed := 0
+	var runErr error
 	for _, id := range ids {
-		rep, err := bncg.Experiment(id, scale)
-		if err != nil {
+		rep, err := bncg.Experiment(ctx, id, scale)
+		if err != nil && !interrupted(err) {
 			return err
 		}
-		fmt.Fprintln(stdout, rep)
-		if !rep.AllPass() {
-			failed++
+		if rep != nil {
+			reports = append(reports, rep)
+			if !rep.AllPass() {
+				failed++
+			}
 		}
+		if err != nil {
+			runErr = err
+			break
+		}
+	}
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			return err
+		}
+	} else {
+		for _, rep := range reports {
+			fmt.Fprintln(stdout, rep)
+		}
+	}
+	if runErr != nil {
+		return fmt.Errorf("interrupted after %d of %d experiment(s): %w", len(reports), len(ids), runErr)
 	}
 	if failed > 0 {
 		return fmt.Errorf("%d experiment(s) had failing checks", failed)
@@ -297,13 +361,16 @@ func runCost(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
-func runSweep(args []string, stdout io.Writer) error {
+func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	n := fs.Int("n", 6, "node count (6 is the Full-scale lattice sweep)")
 	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
 	alphasStr := fs.String("alphas", "1/2,1,3/2,2,3,5", "comma-separated α grid")
 	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
 	trees := fs.Bool("trees", false, "sweep free trees instead of connected graphs")
+	rho := fs.Bool("rho", false, "also compute the social cost ratio ρ per graph")
+	asJSON := fs.Bool("json", false, "emit the full result as JSON instead of the text report")
+	progress := fs.Bool("progress", false, "report task completion on stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -330,28 +397,52 @@ func runSweep(args []string, stdout io.Writer) error {
 	if *trees {
 		source = bncg.SweepTrees
 	}
-	res, err := bncg.RunSweep(bncg.SweepOptions{
+	opts := bncg.SweepOptions{
 		N:        *n,
 		Alphas:   alphas,
 		Concepts: concepts,
 		Workers:  *workers,
 		Source:   source,
 		Cache:    bncg.SharedSweepCache(),
-	})
-	if err != nil {
+		Rho:      *rho,
+	}
+	if *progress {
+		opts.Progress = func(done, total int) {
+			if done%64 == 0 || done == total {
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d tasks", done, total)
+				if done == total {
+					fmt.Fprintln(os.Stderr)
+				}
+			}
+		}
+	}
+	res, err := bncg.RunSweep(ctx, opts)
+	if err != nil && !interrupted(err) {
 		return err
 	}
-	fmt.Fprint(stdout, res.Report())
-	fmt.Fprintf(stdout, "workers=%d cache: %d hits, %d misses\n", res.Workers, res.Hits, res.Misses)
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if jerr := enc.Encode(res); jerr != nil {
+			return jerr
+		}
+	} else {
+		fmt.Fprint(stdout, res.Report())
+		fmt.Fprintf(stdout, "workers=%d cache: %d hits, %d misses\n", res.Workers, res.Hits, res.Misses)
+	}
+	if err != nil {
+		return fmt.Errorf("interrupted with %d of %d tasks done: %w", res.Completed, len(res.Items), err)
+	}
 	return nil
 }
 
-func runPoA(args []string, stdout io.Writer) error {
+func runPoA(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("poa", flag.ContinueOnError)
 	n := fs.Int("n", 8, "number of agents")
 	alphaStr := fs.String("alpha", "", "edge price p or p/q")
 	conceptStr := fs.String("concept", "PS", "solution concept")
 	graphs := fs.Bool("graphs", false, "search all connected graphs instead of trees")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of text")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -364,18 +455,48 @@ func runPoA(args []string, stdout io.Writer) error {
 		return err
 	}
 	var res bncg.PoAResult
+	var searchErr error
 	if *graphs {
-		res, err = bncg.WorstGraph(*n, alpha, c)
+		res, searchErr = bncg.WorstGraph(ctx, *n, alpha, c)
 	} else {
-		res, err = bncg.WorstTree(*n, alpha, c)
+		res, searchErr = bncg.WorstTree(ctx, *n, alpha, c)
 	}
-	if err != nil {
-		return err
+	if searchErr != nil && !interrupted(searchErr) {
+		return searchErr
 	}
-	fmt.Fprintf(stdout, "n=%d α=%s %s: worst ρ = %.4f over %d equilibria of %d candidates\n",
-		*n, alpha, c, res.Rho, res.Equilibria, res.Candidates)
-	if res.Witness != nil {
-		fmt.Fprintf(stdout, "witness: %s\n", res.Witness)
+	if *asJSON {
+		witness := ""
+		if res.Witness != nil {
+			witness = bncg.EncodeGraph(res.Witness)
+		}
+		out := struct {
+			N          int     `json:"n"`
+			Alpha      string  `json:"alpha"`
+			Concept    string  `json:"concept"`
+			Rho        float64 `json:"rho"`
+			Witness    string  `json:"witness,omitempty"`
+			Equilibria int     `json:"equilibria"`
+			Candidates int     `json:"candidates"`
+			Partial    bool    `json:"partial"`
+		}{*n, alpha.String(), c.String(), res.Rho, witness, res.Equilibria, res.Candidates, searchErr != nil}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		qualifier := ""
+		if searchErr != nil {
+			qualifier = " (partial)"
+		}
+		fmt.Fprintf(stdout, "n=%d α=%s %s: worst%s ρ = %.4f over %d equilibria of %d candidates\n",
+			*n, alpha, c, qualifier, res.Rho, res.Equilibria, res.Candidates)
+		if res.Witness != nil {
+			fmt.Fprintf(stdout, "witness: %s\n", res.Witness)
+		}
+	}
+	if searchErr != nil {
+		return fmt.Errorf("interrupted: %w", searchErr)
 	}
 	return nil
 }

@@ -2,6 +2,8 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -9,7 +11,7 @@ import (
 func runCLI(t *testing.T, stdin string, args ...string) (string, error) {
 	t.Helper()
 	var out bytes.Buffer
-	err := run(args, strings.NewReader(stdin), &out)
+	err := run(context.Background(), args, strings.NewReader(stdin), &out)
 	return out.String(), err
 }
 
@@ -152,5 +154,117 @@ func TestErrors(t *testing.T) {
 		if _, err := runCLI(t, "", tc...); err == nil {
 			t.Fatalf("args %v: expected error", tc)
 		}
+	}
+}
+
+func TestSweepRhoAndJSON(t *testing.T) {
+	out, err := runCLI(t, "", "sweep", "-n", "4", "-rho", "-json", "-alphas", "2", "-concepts", "PS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		N         int      `json:"n"`
+		Source    string   `json:"source"`
+		Alphas    []string `json:"alphas"`
+		Concepts  []string `json:"concepts"`
+		Graphs    int      `json:"graphs"`
+		Completed int      `json:"completed"`
+		GraphList []string `json:"graph_list"`
+		Items     []struct {
+			Vector uint16  `json:"vector"`
+			Rho    float64 `json:"rho"`
+			Done   bool    `json:"done"`
+		} `json:"items"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("sweep -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.N != 4 || res.Source != "graphs" || res.Graphs != 6 || res.Completed != 6 {
+		t.Fatalf("unexpected sweep JSON header: %+v", res)
+	}
+	if len(res.Items) != 6 || len(res.GraphList) != 6 {
+		t.Fatalf("want 6 items and graphs, got %d/%d", len(res.Items), len(res.GraphList))
+	}
+	sawRho := false
+	for _, it := range res.Items {
+		if !it.Done {
+			t.Fatalf("completed sweep has undone item: %+v", it)
+		}
+		if it.Rho > 1 {
+			sawRho = true
+		}
+	}
+	if !sawRho {
+		t.Fatal("-rho did not populate any ρ > 1")
+	}
+}
+
+func TestPoAJSON(t *testing.T) {
+	out, err := runCLI(t, "", "poa", "-n", "5", "-alpha", "3", "-concept", "PS", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		N          int     `json:"n"`
+		Alpha      string  `json:"alpha"`
+		Concept    string  `json:"concept"`
+		Rho        float64 `json:"rho"`
+		Witness    string  `json:"witness"`
+		Candidates int     `json:"candidates"`
+		Partial    bool    `json:"partial"`
+	}
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatalf("poa -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if res.N != 5 || res.Alpha != "3" || res.Concept != "PS" || res.Rho < 1 || res.Partial {
+		t.Fatalf("unexpected poa JSON: %+v", res)
+	}
+	if !strings.HasPrefix(res.Witness, "n 5\n") {
+		t.Fatalf("witness not in edge-list format: %q", res.Witness)
+	}
+}
+
+func TestExperimentJSON(t *testing.T) {
+	out, err := runCLI(t, "", "experiment", "F3", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reports []struct {
+		ID      string `json:"id"`
+		Title   string `json:"title"`
+		AllPass bool   `json:"all_pass"`
+		Checks  []struct {
+			Name string `json:"name"`
+			Pass bool   `json:"pass"`
+		} `json:"checks"`
+	}
+	if err := json.Unmarshal([]byte(out), &reports); err != nil {
+		t.Fatalf("experiment -json output is not valid JSON: %v\n%s", err, out)
+	}
+	if len(reports) != 1 || reports[0].ID != "F3" || !reports[0].AllPass || len(reports[0].Checks) == 0 {
+		t.Fatalf("unexpected experiment JSON: %+v", reports)
+	}
+}
+
+// TestTimeoutInterruptsSweep: an unmeetable global deadline still prints
+// the partial report and surfaces an "interrupted" error — the same path a
+// SIGINT takes through signal.NotifyContext.
+func TestTimeoutInterruptsSweep(t *testing.T) {
+	out, err := runCLI(t, "", "-timeout", "1ns", "sweep", "-n", "6")
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", err)
+	}
+	if !strings.Contains(out, "sweep n=6") {
+		t.Fatalf("partial report missing:\n%s", out)
+	}
+	out, err = runCLI(t, "", "-timeout", "1ns", "poa", "-n", "8", "-alpha", "4", "-concept", "PS")
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("poa err = %v, want interrupted", err)
+	}
+	if !strings.Contains(out, "(partial)") {
+		t.Fatalf("poa partial marker missing:\n%s", out)
+	}
+	if _, err := runCLI(t, "", "-timeout", "1m", "list"); err != nil {
+		t.Fatalf("generous timeout broke list: %v", err)
 	}
 }

@@ -32,6 +32,36 @@
 //	res := bncg.Check(gm, star, bncg.PS)        // res.Stable == true
 //	rho := gm.Rho(star)                          // 1.0: the social optimum
 //
+// # The v2 API: contexts, iterators, streaming
+//
+// Every long-running entry point takes a context.Context as its first
+// argument: RunSweep, StreamSweep, WorstTree, WorstGraph, Experiment,
+// RunDynamics and SampleDynamics. The context contract is uniform:
+//
+//   - Cancellation is honored within one task granularity (one (α, graph)
+//     stability evaluation for sweeps and PoA searches, one improving move
+//     for dynamics). Workers drain without leaking goroutines.
+//   - On cancellation the partial result computed so far is returned
+//     together with ctx.Err(): a sweep's Result has Completed < len(Items)
+//     with the finished entries filled in, a PoAResult reduces the
+//     completed portion, a dynamics Trace holds the moves applied, and an
+//     Experiment report contains the rows produced before the cut.
+//   - A nil context is treated as context.Background().
+//
+// Enumeration is iterator-first: AllGraphs and AllFreeTrees return
+// iter.Seq2[*Graph, string] (graph, canonical key) sequences supporting
+// early break, which stops the underlying generation immediately. The
+// callback enumerators of v1 remain as thin shims over them.
+//
+// Streaming: StreamSweep (or SweepOptions.OnItem under RunSweep) delivers
+// sweep items incrementally in exactly the deterministic α-major order of
+// SweepResult.Items — byte-identical at every worker count — while workers
+// keep computing ahead; SweepOptions.Progress reports completed/total task
+// counts. SweepResult and ExperimentReport marshal to stable JSON (exact
+// rational α strings, concept names, snake_case keys), which `bncg sweep
+// -json`, `bncg experiment -json` and `bncg poa -json` expose on the
+// command line.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
-// the recorded reproduction results.
+// the recorded reproduction results and the JSON schemas.
 package bncg

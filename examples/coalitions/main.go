@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,7 +61,7 @@ func run() error {
 	// incentives of the hub are exhausted. The experiment suite (T1-3BSE)
 	// quantifies this: 3-BSE trees have constant ρ while 2-BSE trees reach
 	// Θ(log α).
-	rep, err := bncg.Experiment("T1-3BSE", bncg.Quick)
+	rep, err := bncg.Experiment(context.Background(), "T1-3BSE", bncg.Quick)
 	if err != nil {
 		return err
 	}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -38,7 +39,7 @@ func run() error {
 			return err
 		}
 		startRho := gm.Rho(g)
-		tr, err := bncg.RunDynamics(gm, g, bncg.DynamicsOptions{
+		tr, err := bncg.RunDynamics(context.Background(), gm, g, bncg.DynamicsOptions{
 			Kinds: []bncg.DynamicsKind{bncg.RemoveKind, bncg.AddKind, bncg.SwapKind},
 			Rng:   rng,
 		})

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -32,7 +33,7 @@ func run() error {
 	for _, a := range alphas {
 		fmt.Printf("%8d", a)
 		for _, c := range concepts {
-			res, err := bncg.WorstTree(n, bncg.AlphaInt(a), c)
+			res, err := bncg.WorstTree(context.Background(), n, bncg.AlphaInt(a), c)
 			if err != nil {
 				return err
 			}

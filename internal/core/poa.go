@@ -5,6 +5,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/eq"
@@ -31,24 +32,30 @@ type PoAResult struct {
 // the maximal ρ over all free trees on n nodes that are stable for the
 // concept at price alpha. Exact for every concept; the BSE/BNE checkers
 // bound the practical n (see package eq). The search runs on the parallel
-// sweep engine with the process-wide verdict cache.
-func WorstTree(n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
-	return worstCase(n, alpha, concept, sweep.Trees)
+// sweep engine with the process-wide verdict cache. Cancelling ctx stops
+// the search within one tree granularity and returns the reduction over
+// the completed portion together with ctx.Err().
+func WorstTree(ctx context.Context, n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
+	return worstCase(ctx, n, alpha, concept, sweep.Trees)
 }
 
 // WorstGraph exhaustively computes the PoA over all connected graphs on n
 // nodes (up to isomorphism) stable for the concept at price alpha.
 // Intended for n <= 6. The search runs on the parallel sweep engine with
-// the process-wide verdict cache.
-func WorstGraph(n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
-	return worstCase(n, alpha, concept, sweep.Graphs)
+// the process-wide verdict cache. Cancelling ctx stops the search within
+// one graph granularity and returns the reduction over the completed
+// portion together with ctx.Err().
+func WorstGraph(ctx context.Context, n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
+	return worstCase(ctx, n, alpha, concept, sweep.Graphs)
 }
 
 // worstCase reduces a one-cell sweep (single α, single concept) to the
 // worst stable ρ. The sweep's item order matches the enumeration order the
-// sequential search used, so the reported witness is identical.
-func worstCase(n int, alpha game.Alpha, concept eq.Concept, src sweep.Source) (PoAResult, error) {
-	res, err := sweep.Run(sweep.Options{
+// sequential search used, so the reported witness is identical. On
+// cancellation the reduction covers the partial sweep and the context
+// error is passed through.
+func worstCase(ctx context.Context, n int, alpha game.Alpha, concept eq.Concept, src sweep.Source) (PoAResult, error) {
+	res, err := sweep.Run(ctx, sweep.Options{
 		N:        n,
 		Alphas:   []game.Alpha{alpha},
 		Concepts: []eq.Concept{concept},
@@ -56,7 +63,7 @@ func worstCase(n int, alpha game.Alpha, concept eq.Concept, src sweep.Source) (P
 		Cache:    sweep.Shared(),
 		Rho:      true,
 	})
-	if err != nil {
+	if res == nil {
 		return PoAResult{}, err
 	}
 	rho, witness, stable := res.WorstStable(0, 0)
@@ -65,7 +72,7 @@ func worstCase(n int, alpha game.Alpha, concept eq.Concept, src sweep.Source) (P
 		Witness:    witness,
 		Equilibria: stable,
 		Candidates: res.Graphs,
-	}, nil
+	}, err
 }
 
 // RhoOfFamily evaluates ρ for a constructed family member, checking

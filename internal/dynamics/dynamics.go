@@ -7,6 +7,7 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,6 +27,10 @@ const (
 	SwapKind
 )
 
+// DefaultSeed seeds the rand.Rand a run falls back to when Options.Rng is
+// nil, so the zero-value Options is usable and deterministic.
+const DefaultSeed = 1
+
 // Options configures a dynamics run.
 type Options struct {
 	// Kinds are the move families agents may use. {Remove, Add} converges
@@ -33,8 +38,18 @@ type Options struct {
 	Kinds []Kind
 	// MaxSteps bounds the number of applied moves (0 means 10·n·n).
 	MaxSteps int
-	// Rng randomizes the move scan order; it must be non-nil.
+	// Rng randomizes the move scan order. Nil selects a fresh
+	// rand.New(rand.NewSource(DefaultSeed)), making runs with the zero
+	// value reproducible; pass an explicit source to vary or share streams.
 	Rng *rand.Rand
+}
+
+// rng returns the configured random source, defaulting to a fixed seed.
+func (o Options) rng() *rand.Rand {
+	if o.Rng != nil {
+		return o.Rng
+	}
+	return rand.New(rand.NewSource(DefaultSeed))
 }
 
 // Trace reports a dynamics run.
@@ -42,28 +57,34 @@ type Trace struct {
 	// Steps is the number of improving moves applied.
 	Steps int
 	// Converged reports whether no improving move remained (as opposed to
-	// hitting MaxSteps).
+	// hitting MaxSteps or the context being cancelled).
 	Converged bool
 	// History records the applied moves in order.
 	History []move.Move
 }
 
-// Run mutates g by applying improving moves until convergence or the step
-// bound. It returns the trace; g holds the final state.
-func Run(gm game.Game, g *graph.Graph, opts Options) (Trace, error) {
-	if opts.Rng == nil {
-		return Trace{}, fmt.Errorf("dynamics: Options.Rng must be set")
+// Run mutates g by applying improving moves until convergence, the step
+// bound, or ctx cancellation. It returns the trace; g holds the final
+// state. On cancellation the partial trace (moves applied so far) is
+// returned together with ctx.Err(); g holds the state reached.
+func Run(ctx context.Context, gm game.Game, g *graph.Graph, opts Options) (Trace, error) {
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	if len(opts.Kinds) == 0 {
 		return Trace{}, fmt.Errorf("dynamics: Options.Kinds must not be empty")
 	}
+	rng := opts.rng()
 	maxSteps := opts.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 10 * g.N() * g.N()
 	}
 	var tr Trace
 	for tr.Steps < maxSteps {
-		m, ok := findImproving(gm, g, opts)
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		m, ok := findImproving(gm, g, rng, opts)
 		if !ok {
 			tr.Converged = true
 			return tr, nil
@@ -75,16 +96,16 @@ func Run(gm game.Game, g *graph.Graph, opts Options) (Trace, error) {
 		tr.Steps++
 	}
 	// One final scan decides whether we stopped exactly at a fixed point.
-	_, more := findImproving(gm, g, opts)
+	_, more := findImproving(gm, g, rng, opts)
 	tr.Converged = !more
 	return tr, nil
 }
 
 // findImproving scans the allowed move families in random order and
 // returns the first strictly improving move.
-func findImproving(gm game.Game, g *graph.Graph, opts Options) (move.Move, bool) {
+func findImproving(gm game.Game, g *graph.Graph, rng *rand.Rand, opts Options) (move.Move, bool) {
 	candidates := collectMoves(g, opts)
-	opts.Rng.Shuffle(len(candidates), func(i, j int) {
+	rng.Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
 	for _, m := range candidates {
@@ -137,21 +158,41 @@ type SampleStat struct {
 }
 
 // Sample runs the dynamics from `samples` random connected starting graphs
-// on n nodes and summarizes the resulting equilibrium quality.
-func Sample(gm game.Game, n, samples int, opts Options) (SampleStat, error) {
+// on n nodes and summarizes the resulting equilibrium quality. Cancelling
+// ctx stops between (or inside) runs; the statistics over the samples
+// finished so far are returned together with ctx.Err().
+func Sample(ctx context.Context, gm game.Game, n, samples int, opts Options) (SampleStat, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Materialize the default once so every sample draws from the same
+	// stream instead of replaying the first.
+	opts.Rng = opts.rng()
 	var st SampleStat
+	finish := func(err error) (SampleStat, error) {
+		if st.Samples > 0 {
+			st.MeanSteps /= float64(st.Samples)
+		}
+		if connectedSamples := st.Samples - st.Disconnected; connectedSamples > 0 {
+			st.MeanRho /= float64(connectedSamples)
+		}
+		return st, err
+	}
 	for i := 0; i < samples; i++ {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
 		m := n - 1 + opts.Rng.Intn(n)
 		if max := n * (n - 1) / 2; m > max {
 			m = max
 		}
 		g, err := graph.RandomConnectedGraph(n, m, opts.Rng)
 		if err != nil {
-			return st, err
+			return finish(err)
 		}
-		tr, err := Run(gm, g, opts)
+		tr, err := Run(ctx, gm, g, opts)
 		if err != nil {
-			return st, err
+			return finish(err)
 		}
 		st.Samples++
 		st.MeanSteps += float64(tr.Steps)
@@ -168,11 +209,5 @@ func Sample(gm game.Game, n, samples int, opts Options) (SampleStat, error) {
 			st.WorstRho = rho
 		}
 	}
-	if st.Samples > 0 {
-		st.MeanSteps /= float64(st.Samples)
-	}
-	if connectedSamples := st.Samples - st.Disconnected; connectedSamples > 0 {
-		st.MeanRho /= float64(connectedSamples)
-	}
-	return st, nil
+	return finish(nil)
 }

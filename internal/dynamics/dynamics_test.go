@@ -1,6 +1,8 @@
 package dynamics
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -12,18 +14,89 @@ import (
 func TestRunValidation(t *testing.T) {
 	gm, _ := game.NewGame(4, game.A(2))
 	g := game.Star(4)
-	if _, err := Run(gm, g, Options{Kinds: []Kind{AddKind}}); err == nil {
-		t.Fatal("nil Rng accepted")
-	}
-	if _, err := Run(gm, g, Options{Rng: rand.New(rand.NewSource(1))}); err == nil {
+	if _, err := Run(context.Background(), gm, g, Options{Rng: rand.New(rand.NewSource(1))}); err == nil {
 		t.Fatal("empty kinds accepted")
+	}
+}
+
+// TestNilRngDefaultsDeterministically: the zero-value Options (nil Rng) is
+// usable and reproducible — two identical runs apply the same move history.
+func TestNilRngDefaultsDeterministically(t *testing.T) {
+	gm, _ := game.NewGame(7, game.A(3))
+	run := func() (Trace, *graph.Graph) {
+		rng := rand.New(rand.NewSource(99))
+		g, err := graph.RandomConnectedGraph(7, 10, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Run(context.Background(), gm, g, Options{Kinds: []Kind{RemoveKind, AddKind}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr, g
+	}
+	tr1, g1 := run()
+	tr2, g2 := run()
+	if !tr1.Converged {
+		t.Fatalf("nil-Rng run did not converge: %+v", tr1)
+	}
+	if tr1.Steps != tr2.Steps || len(tr1.History) != len(tr2.History) {
+		t.Fatalf("nil-Rng runs diverge: %d vs %d steps", tr1.Steps, tr2.Steps)
+	}
+	for i := range tr1.History {
+		if tr1.History[i] != tr2.History[i] {
+			t.Fatalf("nil-Rng histories diverge at move %d: %v vs %v", i, tr1.History[i], tr2.History[i])
+		}
+	}
+	if !g1.Equal(g2) {
+		t.Fatalf("nil-Rng final states differ: %s vs %s", g1, g2)
+	}
+}
+
+// TestSampleNilRng: the zero-value Options works for Sample too, and the
+// default stream is materialized once (samples are not replays of the
+// first draw).
+func TestSampleNilRng(t *testing.T) {
+	gm, _ := game.NewGame(6, game.A(2))
+	st, err := Sample(context.Background(), gm, 6, 5, Options{Kinds: []Kind{RemoveKind, AddKind}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Samples != 5 || st.Converged != 5 {
+		t.Fatalf("nil-Rng sample stats: %+v", st)
+	}
+}
+
+// TestRunCancelled: a cancelled context stops the dynamics before any move
+// and surfaces ctx.Err() with the partial trace.
+func TestRunCancelled(t *testing.T) {
+	gm, _ := game.NewGame(8, game.A(3))
+	rng := rand.New(rand.NewSource(7))
+	g, err := graph.RandomConnectedGraph(8, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tr, err := Run(ctx, gm, g, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if tr.Steps != 0 || tr.Converged {
+		t.Fatalf("pre-cancelled run should stop immediately: %+v", tr)
+	}
+	if _, err := Sample(ctx, gm, 8, 3, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Sample err = %v, want context.Canceled", err)
+	}
+	if _, err := AnalyzeStateGraph(ctx, 4, game.A(2), []Kind{RemoveKind, AddKind}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("AnalyzeStateGraph err = %v, want context.Canceled", err)
 	}
 }
 
 func TestStarIsFixedPoint(t *testing.T) {
 	gm, _ := game.NewGame(6, game.A(2))
 	g := game.Star(6)
-	tr, err := Run(gm, g, Options{
+	tr, err := Run(context.Background(), gm, g, Options{
 		Kinds: []Kind{RemoveKind, AddKind, SwapKind},
 		Rng:   rand.New(rand.NewSource(2)),
 	})
@@ -51,7 +124,7 @@ func TestFixedPointsAreEquilibria(t *testing.T) {
 		if !psOnly {
 			kinds = append(kinds, SwapKind)
 		}
-		tr, err := Run(gm, g, Options{Kinds: kinds, Rng: rng})
+		tr, err := Run(context.Background(), gm, g, Options{Kinds: kinds, Rng: rng})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -75,7 +148,7 @@ func TestHistoryMatchesSteps(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tr, err := Run(gm, g, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
+	tr, err := Run(context.Background(), gm, g, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +160,7 @@ func TestHistoryMatchesSteps(t *testing.T) {
 func TestSampleSummary(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	gm, _ := game.NewGame(8, game.A(2))
-	st, err := Sample(gm, 8, 10, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
+	st, err := Sample(context.Background(), gm, 8, 10, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +183,7 @@ func TestDynamicsKeepConnectivity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if _, err := Run(gm, g, Options{Kinds: []Kind{RemoveKind, AddKind, SwapKind}, Rng: rng}); err != nil {
+		if _, err := Run(context.Background(), gm, g, Options{Kinds: []Kind{RemoveKind, AddKind, SwapKind}, Rng: rng}); err != nil {
 			t.Fatal(err)
 		}
 		if !g.Connected() {

@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/eq"
@@ -27,8 +28,12 @@ type StateGraphResult struct {
 
 // AnalyzeStateGraph builds the full improving-move digraph for the BNCG on
 // n agents at price alpha and checks it for cycles. Exponential in the
-// number of node pairs; intended for n <= 5 (2^10 states).
-func AnalyzeStateGraph(n int, alpha game.Alpha, kinds []Kind) (StateGraphResult, error) {
+// number of node pairs; intended for n <= 5 (2^10 states). Cancelling ctx
+// aborts the construction and returns the partial counts with ctx.Err().
+func AnalyzeStateGraph(ctx context.Context, n int, alpha game.Alpha, kinds []Kind) (StateGraphResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	pairs := n * (n - 1) / 2
 	if pairs > 16 {
 		return StateGraphResult{}, fmt.Errorf("dynamics: state graph on n=%d is too large (2^%d states)", n, pairs)
@@ -42,6 +47,9 @@ func AnalyzeStateGraph(n int, alpha game.Alpha, kinds []Kind) (StateGraphResult,
 	succ := make([][]int, total)
 	res := StateGraphResult{States: total}
 	for s := 0; s < total; s++ {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		g := stateToGraph(n, s)
 		for _, m := range collectMoves(g, Options{Kinds: kinds}) {
 			if !eq.Improving(gm, g, m) {

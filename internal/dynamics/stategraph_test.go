@@ -1,6 +1,7 @@
 package dynamics
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestStateGraphRoundTrip(t *testing.T) {
 }
 
 func TestAnalyzeStateGraphTooLarge(t *testing.T) {
-	if _, err := AnalyzeStateGraph(7, game.A(2), []Kind{AddKind}); err == nil {
+	if _, err := AnalyzeStateGraph(context.Background(), 7, game.A(2), []Kind{AddKind}); err == nil {
 		t.Fatal("n=7 state graph accepted")
 	}
 }
@@ -26,7 +27,7 @@ func TestAnalyzeStateGraphTooLarge(t *testing.T) {
 // The sinks of the {remove, add} state graph are exactly the PS states.
 func TestStateGraphSinksArePS(t *testing.T) {
 	alpha := game.A(2)
-	res, err := AnalyzeStateGraph(4, alpha, []Kind{RemoveKind, AddKind})
+	res, err := AnalyzeStateGraph(context.Background(), 4, alpha, []Kind{RemoveKind, AddKind})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +52,7 @@ func TestStateGraphSinksArePS(t *testing.T) {
 // start (spot-checked from all states at n=4).
 func TestAcyclicMeansConvergent(t *testing.T) {
 	alpha := game.AFrac(3, 2)
-	res, err := AnalyzeStateGraph(4, alpha, []Kind{RemoveKind, AddKind})
+	res, err := AnalyzeStateGraph(context.Background(), 4, alpha, []Kind{RemoveKind, AddKind})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestAcyclicMeansConvergent(t *testing.T) {
 	rng := rand.New(rand.NewSource(71))
 	for state := 0; state < res.States; state++ {
 		g := stateToGraph(4, state)
-		tr, err := Run(gm, g, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
+		tr, err := Run(context.Background(), gm, g, Options{Kinds: []Kind{RemoveKind, AddKind}, Rng: rng})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -78,7 +79,7 @@ func TestAcyclicMeansConvergent(t *testing.T) {
 }
 
 func TestStateGraphWithSwaps(t *testing.T) {
-	res, err := AnalyzeStateGraph(4, game.A(3), []Kind{RemoveKind, AddKind, SwapKind})
+	res, err := AnalyzeStateGraph(context.Background(), 4, game.A(3), []Kind{RemoveKind, AddKind, SwapKind})
 	if err != nil {
 		t.Fatal(err)
 	}

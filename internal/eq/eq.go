@@ -64,6 +64,12 @@ func (c Concept) String() string {
 	}
 }
 
+// MarshalJSON renders the concept as its paper name ("PS", "2-BSE", ...),
+// so JSON output is stable across reorderings of the enum.
+func (c Concept) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", c.String())), nil
+}
+
 // Concepts lists all bilateral concepts in cooperation order.
 func Concepts() []Concept {
 	return []Concept{RE, BAE, PS, BSwE, BGE, BNE, TwoBSE, ThreeBSE, BSE}

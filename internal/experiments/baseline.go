@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/core"
@@ -20,7 +21,7 @@ func init() {
 // than the unilateral NCG under NE — "the required cooperation for
 // establishing edges leads to socially worse equilibrium states".
 // Both sides are computed exhaustively over all free trees.
-func runNCGCompare(s Scale) *Report {
+func runNCGCompare(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "NCG-COMPARE", Title: "Motivation: bilateral PS vs unilateral NE tree PoA"}
 	n := 7
 	if s == Full {
@@ -31,7 +32,7 @@ func runNCGCompare(s Scale) *Report {
 	r.addLinef("%8s %14s %14s", "alpha", "BNCG-PS", "NCG-NE")
 	worstGap := 0.0
 	for _, alpha := range alphas {
-		ps, err := core.WorstTree(n, alpha, eq.PS)
+		ps, err := core.WorstTree(ctx, n, alpha, eq.PS)
 		if err != nil {
 			r.addCheck("PS search", false, "%v", err)
 			return r
@@ -65,7 +66,7 @@ func runNCGCompare(s Scale) *Report {
 // small instances: Lemma B.1 (the social cost of an RE graph is at most
 // 2(n−1)(α + dist(u)) for every node u) and the add-equilibrium diameter
 // bound (diam ≤ 2√α + 1 in BAE graphs, carried over from the NCG).
-func runAppendixB(s Scale) *Report {
+func runAppendixB(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "APP-B", Title: "Appendix B: RE cost bound and BAE diameter bound"}
 	n := 6
 	if s == Full {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -19,7 +20,7 @@ func init() {
 // dynamics from random connected graphs reach PS (and BGE) states, those
 // states verify against the exact checkers, and the sampled equilibrium
 // quality stays below the exhaustive worst case.
-func runDynamics(s Scale) *Report {
+func runDynamics(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "DYN", Title: "Improving-response dynamics to PS and BGE"}
 	n := 10
 	samples := 20
@@ -37,12 +38,12 @@ func runDynamics(s Scale) *Report {
 		psKinds := []dynamics.Kind{dynamics.RemoveKind, dynamics.AddKind}
 		bgeKinds := append(psKinds, dynamics.SwapKind)
 
-		stPS, err := dynamics.Sample(gm, n, samples, dynamics.Options{Kinds: psKinds, Rng: rng})
+		stPS, err := dynamics.Sample(ctx, gm, n, samples, dynamics.Options{Kinds: psKinds, Rng: rng})
 		if err != nil {
 			r.addCheck("PS sample", false, "%v", err)
 			return r
 		}
-		stBGE, err := dynamics.Sample(gm, n, samples, dynamics.Options{Kinds: bgeKinds, Rng: rng})
+		stBGE, err := dynamics.Sample(ctx, gm, n, samples, dynamics.Options{Kinds: bgeKinds, Rng: rng})
 		if err != nil {
 			r.addCheck("BGE sample", false, "%v", err)
 			return r
@@ -57,7 +58,7 @@ func runDynamics(s Scale) *Report {
 			"α=%d: %d/%d", alphaInt, stBGE.Converged, stBGE.Samples)
 
 		// Sampled equilibria stay below the exhaustive tree worst case.
-		worst, err := core.WorstTree(n, alpha, eq.PS)
+		worst, err := core.WorstTree(ctx, n, alpha, eq.PS)
 		if err != nil {
 			r.addCheck("worst", false, "%v", err)
 			return r
@@ -76,7 +77,7 @@ func runDynamics(s Scale) *Report {
 		r.addCheck("gen", false, "%v", err)
 		return r
 	}
-	tr, err := dynamics.Run(gm, g, dynamics.Options{
+	tr, err := dynamics.Run(ctx, gm, g, dynamics.Options{
 		Kinds: []dynamics.Kind{dynamics.RemoveKind, dynamics.AddKind, dynamics.SwapKind},
 		Rng:   rng,
 	})
@@ -97,7 +98,7 @@ func runDynamics(s Scale) *Report {
 		nSG = 5
 	}
 	for _, alphaSG := range []game.Alpha{game.AFrac(3, 2), game.A(3), game.A(8)} {
-		res, err := dynamics.AnalyzeStateGraph(nSG, alphaSG, []dynamics.Kind{
+		res, err := dynamics.AnalyzeStateGraph(ctx, nSG, alphaSG, []dynamics.Kind{
 			dynamics.RemoveKind, dynamics.AddKind, dynamics.SwapKind,
 		})
 		if err != nil {

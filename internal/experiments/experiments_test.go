@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -12,7 +13,7 @@ func TestAllExperimentsPassAtQuickScale(t *testing.T) {
 	for _, id := range IDs() {
 		id := id
 		t.Run(id, func(t *testing.T) {
-			rep, err := Run(id, Quick)
+			rep, err := Run(context.Background(), id, Quick)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -30,7 +31,7 @@ func TestAllExperimentsPassAtQuickScale(t *testing.T) {
 }
 
 func TestRunUnknownID(t *testing.T) {
-	if _, err := Run("nope", Quick); err == nil {
+	if _, err := Run(context.Background(), "nope", Quick); err == nil {
 		t.Fatal("unknown experiment id accepted")
 	}
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"repro/internal/construct"
 	"repro/internal/eq"
 	"repro/internal/game"
@@ -21,7 +22,7 @@ func init() {
 // stable in the BNCG, refuting the Corbo–Parkes conjecture. The canonical
 // recovered witness is verified, and (in Full scale) re-discovered by
 // exhaustive search.
-func runF2CorboParkes(s Scale) *Report {
+func runF2CorboParkes(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F2", Title: "Figure 2 / Prop 2.3: NE(NCG) does not imply PS(BNCG)"}
 	f2 := construct.NewFigure2()
 	gm, err := game.NewGame(f2.G.N(), game.A(2))
@@ -86,7 +87,7 @@ func runF2CorboParkes(s Scale) *Report {
 // gadget is in BAE and BGE at α = 209/2 but not in BNE — the hub's double
 // swap improves the hub by 2 and each new partner by 105 > α, while each
 // single swap offers a partner only 104 < α.
-func runF5BNEGap(s Scale) *Report {
+func runF5BNEGap(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F5", Title: "Figure 5: BAE ∧ BGE but not BNE (α=104.5)"}
 	f5 := construct.NewFigure5(100)
 	g := f5.G
@@ -135,7 +136,7 @@ func runF5BNEGap(s Scale) *Report {
 // 10-node gadget is in BNE at α = 7 but a 2-coalition improves by trading
 // its two c-edges for a direct edge. The search that recovered the gadget
 // matched the paper's agent costs exactly.
-func runF62BSEGap(s Scale) *Report {
+func runF62BSEGap(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F6", Title: "Figure 6: BNE but not 2-BSE (α=7)"}
 	f6 := construct.NewFigure6()
 	g := f6.G
@@ -161,7 +162,7 @@ func runF62BSEGap(s Scale) *Report {
 // gadget at α = 4(i−1) is in 2-BSE (and, for enough rows, 3-BSE) while the
 // hub's row-swap neighborhood change always violates BNE. The paper takes
 // i = 20k rows for k-BSE; the sweep locates the actual thresholds.
-func runF7kBSEGap(s Scale) *Report {
+func runF7kBSEGap(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F7", Title: "Figure 7: k-BSE but not BNE (α=4(i−1))"}
 	maxRows := 6
 	threeBSERows := 4
@@ -211,7 +212,7 @@ func runF7kBSEGap(s Scale) *Report {
 // runF8AddGap reproduces Proposition 2.1 / Figure 8: a graph in BAE of the
 // BNCG that is not in Add Equilibrium of the unilateral NCG — unilateral
 // addition is strictly more powerful because it needs no partner consent.
-func runF8AddGap(s Scale) *Report {
+func runF8AddGap(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F8", Title: "Figure 8 / Prop 2.1: BAE does not imply unilateral AE"}
 	g := construct.Figure8()
 	gm, err := game.NewGame(g.N(), game.A(2))

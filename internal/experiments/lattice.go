@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/construct"
@@ -30,7 +31,7 @@ func latticeAlphas() []game.Alpha {
 // every α in the grid, the full stability vector is computed with the
 // exact checkers and every claimed inclusion is verified; the sweep also
 // looks for witnesses making inclusions proper.
-func runF1aLattice(s Scale) *Report {
+func runF1aLattice(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F1a", Title: "Figure 1a: subset lattice of solution concepts"}
 	n := 5
 	if s == Full {
@@ -50,7 +51,7 @@ func runF1aLattice(s Scale) *Report {
 	// One engine sweep replaces the per-α sequential enumerations; the
 	// α-major item order matches the loop nest it replaced, so the report
 	// (counts, first proper witnesses) is unchanged.
-	res, err := sweep.Run(sweep.Options{
+	res, err := sweep.Run(ctx, sweep.Options{
 		N:        n,
 		Alphas:   latticeAlphas(),
 		Concepts: eq.Concepts(),
@@ -149,7 +150,7 @@ func verifyNamedSeparations(r *Report) {
 // incomparable — all 8 regions of their Venn diagram are inhabited. The
 // sweep classifies every connected graph on up to n nodes against the α
 // grid and reports the smallest witness per region.
-func runF1bVenn(s Scale) *Report {
+func runF1bVenn(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F1b", Title: "Figure 1b: Venn regions of RE / BAE / BSwE"}
 	// Full scale at every scale: the three concepts here are the polynomial
 	// checkers, so on the sweep engine the n=6 stream costs well under a
@@ -161,7 +162,7 @@ func runF1bVenn(s Scale) *Report {
 		// One three-concept engine sweep per size; α-major item order keeps
 		// the first-witness-per-region selection identical to the
 		// sequential loops it replaced.
-		res, err := sweep.Run(sweep.Options{
+		res, err := sweep.Run(ctx, sweep.Options{
 			N:        n,
 			Alphas:   latticeAlphas(),
 			Concepts: []eq.Concept{eq.RE, eq.BAE, eq.BSwE},

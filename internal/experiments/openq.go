@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -19,7 +20,7 @@ func init() {
 //
 // This is an extension beyond the paper's theorems — the paper proves tree
 // bounds and conjectures the general case; these numbers are evidence.
-func runOpenQuestionGeneral(s Scale) *Report {
+func runOpenQuestionGeneral(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "OQ-GENERAL", Title: "Open question: cooperative PoA on general graphs (exhaustive n ≤ 6)"}
 	n := 5
 	if s == Full {
@@ -37,7 +38,7 @@ func runOpenQuestionGeneral(s Scale) *Report {
 	for _, alpha := range alphas {
 		row := ""
 		for _, c := range concepts {
-			res, err := core.WorstGraph(n, alpha, c)
+			res, err := core.WorstGraph(ctx, n, alpha, c)
 			if err != nil {
 				r.addCheck("search", false, "%v", err)
 				return r

@@ -6,6 +6,8 @@
 package experiments
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -83,8 +85,41 @@ func (r *Report) String() string {
 	return b.String()
 }
 
-// Runner executes an experiment at a scale.
-type Runner func(Scale) *Report
+// MarshalJSON implements a stable JSON encoding of the report: snake_case
+// keys in fixed order, with an aggregate "all_pass" so consumers need not
+// re-derive it.
+func (r *Report) MarshalJSON() ([]byte, error) {
+	type checkJSON struct {
+		Name   string `json:"name"`
+		Pass   bool   `json:"pass"`
+		Detail string `json:"detail"`
+	}
+	out := struct {
+		ID      string      `json:"id"`
+		Title   string      `json:"title"`
+		Lines   []string    `json:"lines"`
+		Checks  []checkJSON `json:"checks"`
+		AllPass bool        `json:"all_pass"`
+	}{
+		ID:      r.ID,
+		Title:   r.Title,
+		Lines:   r.Lines,
+		Checks:  make([]checkJSON, len(r.Checks)),
+		AllPass: r.AllPass(),
+	}
+	if out.Lines == nil {
+		out.Lines = []string{}
+	}
+	for i, c := range r.Checks {
+		out.Checks[i] = checkJSON{Name: c.Name, Pass: c.Pass, Detail: c.Detail}
+	}
+	return json.Marshal(out)
+}
+
+// Runner executes an experiment at a scale. Runners observe ctx through
+// the engines they drive (sweeps, PoA searches, dynamics) and return a
+// partial report when it is cancelled.
+type Runner func(context.Context, Scale) *Report
 
 // registry maps experiment IDs to runners; populated by init functions in
 // the per-experiment files.
@@ -107,11 +142,17 @@ func IDs() []string {
 	return ids
 }
 
-// Run executes the experiment with the given ID.
-func Run(id string, s Scale) (*Report, error) {
+// Run executes the experiment with the given ID. Cancelling ctx stops the
+// experiment at the granularity of its underlying sweeps and searches; the
+// partial report produced so far is returned together with ctx.Err().
+func Run(ctx context.Context, id string, s Scale) (*Report, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	r, ok := registry[id]
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
-	return r(s), nil
+	rep := r(ctx, s)
+	return rep, ctx.Err()
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/construct"
@@ -25,7 +26,7 @@ func init() {
 // defining identities — node count (2^(d+1)−2)k + 1, depth k·d, distance
 // stretching between B-nodes, and the Lemma D.1 average-layer lower bound
 // k(d − 3/2).
-func runF3Stretched(s Scale) *Report {
+func runF3Stretched(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F3", Title: "Figure 3: stretched binary tree identities"}
 	maxD := 5
 	if s == Full {
@@ -80,7 +81,7 @@ func runF3Stretched(s Scale) *Report {
 // sibling subtrees, the 3-coalition {x, z, z'} (add xz and zz', drop xy)
 // strictly improves all three members — and stops improving when the arms
 // are shorter than the lemma's threshold.
-func runF4Coalition(s Scale) *Report {
+func runF4Coalition(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "F4", Title: "Figure 4 / Lemma 3.14: the 3-coalition escape move"}
 	alphas := []int64{20, 30, 50}
 	if s == Full {
@@ -154,7 +155,7 @@ func lemma314Move(dd *construct.DoubleDeep, q int) move.Coalition {
 // width Θ(n²), so no tree conjecture can hold in the BNCG. Inside the
 // window the exact checker confirms stability; at the window edges it
 // reports the violating move.
-func runL24Cycles(s Scale) *Report {
+func runL24Cycles(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "L2.4", Title: "Lemma 2.4: cycles are in BSE for α ∈ Θ(n²)"}
 	maxN := 6
 	for n := 3; n <= maxN; n++ {
@@ -208,13 +209,13 @@ func cycleWindow(n int) (lo, hi float64) {
 
 // runP316LowAlpha reproduces Proposition 3.16: the three α regimes of BSE
 // structure — clique only (α<1), diameter ≤ 2 (α=1), star and more (α>1).
-func runP316LowAlpha(s Scale) *Report {
+func runP316LowAlpha(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "P3.16", Title: "Prop 3.16: BSE structure across α regimes"}
 	maxN := 5
 	for n := 4; n <= maxN; n++ {
 		// One engine sweep covers all three α regimes; the BSE verdicts land
 		// in the shared canonical-form cache for the other experiments.
-		res, err := sweep.Run(sweep.Options{
+		res, err := sweep.Run(ctx, sweep.Options{
 			N:        n,
 			Alphas:   []game.Alpha{game.AFrac(1, 2), game.A(1), game.A(2)},
 			Concepts: []eq.Concept{eq.BSE},
@@ -266,7 +267,7 @@ func runP316LowAlpha(s Scale) *Report {
 // every agent's cost below p·(α+n−1) for a constant p — the counting bound
 // p*(n) and the best d-ary tree's normalized worst cost both grow without
 // bound.
-func runP322NoFlat(s Scale) *Report {
+func runP322NoFlat(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "P3.22", Title: "Prop 3.22: no evenly-cheap graphs at α = n"}
 	r.addLinef("counting lower bound p*(n):")
 	var ps []float64

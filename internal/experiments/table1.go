@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/construct"
@@ -21,7 +22,7 @@ func init() {
 // runT1PS reproduces the PS row of Table 1: the PoA of pairwise stable
 // trees is polynomial in α (Θ(min{√α, n/√α})), peaking near α ≈ n — far
 // worse than the Θ(log α) of the cooperative concepts.
-func runT1PS(s Scale) *Report {
+func runT1PS(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "T1-PS", Title: "Table 1, PS row: PoA Θ(min{√α, n/√α}) on trees"}
 
 	n := 10
@@ -33,7 +34,7 @@ func runT1PS(s Scale) *Report {
 	r.addLinef("%8s %10s %14s %10s", "alpha", "worst-rho", "min{√α,n/√α}", "#PS-trees")
 	rhoAt := make(map[string]float64, len(alphas))
 	for _, alpha := range alphas {
-		res, err := core.WorstTree(n, alpha, eq.PS)
+		res, err := core.WorstTree(ctx, n, alpha, eq.PS)
 		if err != nil {
 			r.addCheck("search", false, "WorstTree: %v", err)
 			return r
@@ -56,7 +57,7 @@ func runT1PS(s Scale) *Report {
 	r.addLinef("peak worst ρ at α = n:")
 	var peaks []float64
 	for _, nn := range sizes {
-		res, err := core.WorstTree(nn, game.A(int64(nn)), eq.PS)
+		res, err := core.WorstTree(ctx, nn, game.A(int64(nn)), eq.PS)
 		if err != nil {
 			r.addCheck("peak search", false, "WorstTree: %v", err)
 			return r
@@ -113,7 +114,7 @@ func bgeFamilyPoint(r *Report, alphaInt int64) (n int, rho float64, ok bool) {
 // runT1BSwE reproduces the BSwE row: the stretched-tree-star family is
 // checker-certified stable and its ρ sits between the Theorem 3.10 lower
 // bound and the Theorem 3.6 upper bound, growing logarithmically in α.
-func runT1BSwE(s Scale) *Report {
+func runT1BSwE(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "T1-BSwE", Title: "Table 1, BSwE row: PoA Θ(log α) on trees"}
 	alphas := []int64{60, 120, 240}
 	if s == Full {
@@ -146,7 +147,7 @@ func runT1BSwE(s Scale) *Report {
 // the full RE ∧ BAE ∧ BSwE check, the same family certifies the BGE row;
 // this runner additionally cross-validates Proposition 3.7 (BGE ⇔ 2-BSE on
 // trees) on a family member small enough for the exact coalition checker.
-func runT1BGE(s Scale) *Report {
+func runT1BGE(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "T1-BGE", Title: "Table 1, BGE row: PoA Θ(log α) on trees (= 2-BSE)"}
 	n, rho, ok := bgeFamilyPoint(r, 60)
 	if !ok {
@@ -173,7 +174,7 @@ func runT1BGE(s Scale) *Report {
 // runT1BNE reproduces the BNE row: Θ(log α) for α above the √n threshold
 // (via Lemma 3.11-certified tree stars), constant (≤ 4, Theorem 3.13) for
 // α ≤ √n (via exhaustive search over BNE trees).
-func runT1BNE(s Scale) *Report {
+func runT1BNE(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "T1-BNE", Title: "Table 1, BNE row: Θ(log α) above √n, Θ(1) below"}
 
 	// High-α regime (Theorem 3.12 family shape): stretched tree stars with
@@ -217,7 +218,7 @@ func runT1BNE(s Scale) *Report {
 	r.addLinef("low-α regime (exhaustive BNE trees, n=%d):", n)
 	worst := 0.0
 	for _, alpha := range []game.Alpha{game.A(1), game.AFrac(3, 2), game.A(2), game.A(3)} {
-		res, err := core.WorstTree(n, alpha, eq.BNE)
+		res, err := core.WorstTree(ctx, n, alpha, eq.BNE)
 		if err != nil {
 			r.addCheck("search", false, "%v", err)
 			return r
@@ -255,7 +256,7 @@ func largestCertifiedBNEStar(alphaInt int64) (*construct.TreeStar, bool) {
 // holds on every 3-BSE tree, and 2-BSE (= BGE) remains logarithmically bad
 // on the stretched star family — pinpointing coalition size 3 as the
 // cooperation threshold.
-func runT13BSE(s Scale) *Report {
+func runT13BSE(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "T1-3BSE", Title: "Table 1, 3-BSE row: constant PoA on trees"}
 	n := 8
 	if s == Full {
@@ -268,7 +269,7 @@ func runT13BSE(s Scale) *Report {
 	for _, alpha := range alphas {
 		gm, _ := game.NewGame(n, alpha)
 		_ = gm
-		res, err := core.WorstTree(n, alpha, eq.ThreeBSE)
+		res, err := core.WorstTree(ctx, n, alpha, eq.ThreeBSE)
 		if err != nil {
 			r.addCheck("search", false, "%v", err)
 			return r
@@ -304,7 +305,7 @@ func runT13BSE(s Scale) *Report {
 // essentially optimal, and the Lemma 3.17/3.18 machinery yields the
 // Theorem 3.19/3.20/3.21 bound curves — constant for α <= n^(1-ε) and
 // α >= n·log n, o(log n) in the gap.
-func runT1BSE(s Scale) *Report {
+func runT1BSE(ctx context.Context, s Scale) *Report {
 	r := &Report{ID: "T1-BSE", Title: "Table 1, BSE rows: constant PoA except an o(log n) gap"}
 
 	// Exact: worst BSE ρ over all connected graphs on 5 nodes.
@@ -314,7 +315,7 @@ func runT1BSE(s Scale) *Report {
 	}
 	worst := 0.0
 	for _, alpha := range []game.Alpha{game.AFrac(1, 2), game.AFrac(3, 2), game.A(3), game.A(10)} {
-		res, err := core.WorstGraph(nExact, alpha, eq.BSE)
+		res, err := core.WorstGraph(ctx, nExact, alpha, eq.BSE)
 		if err != nil {
 			r.addCheck("exact search", false, "%v", err)
 			return r

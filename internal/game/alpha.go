@@ -99,6 +99,12 @@ func (a Alpha) String() string {
 	return fmt.Sprintf("%d/%d", a.num, a.Den())
 }
 
+// MarshalJSON renders the price as its exact string form ("3" or "9/2"),
+// never a float, so JSON output is stable and lossless.
+func (a Alpha) MarshalJSON() ([]byte, error) {
+	return []byte(fmt.Sprintf("%q", a.String())), nil
+}
+
 func gcd64(a, b int64) int64 {
 	if a < 0 {
 		a = -a

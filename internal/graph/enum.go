@@ -1,5 +1,7 @@
 package graph
 
+import "iter"
+
 // EnumOptions controls small-graph enumeration.
 type EnumOptions struct {
 	// ConnectedOnly skips disconnected graphs.
@@ -12,10 +14,55 @@ type EnumOptions struct {
 	MinEdges, MaxEdges int
 }
 
-// Enumerate calls yield with graphs on n nodes matching opts, and returns
-// how many were yielded. The callback owns each graph. Intended for n <= 7:
-// the labeled space has 2^(n(n-2)/2) members and isomorphism reduction uses
+// All returns an iterator over the graphs on n nodes matching opts, paired
+// with each graph's canonical key (empty when UpToIso is false, in which
+// case no canonical form is computed). Breaking out of the range stops the
+// enumeration immediately: no further graphs are generated or canonicalized.
+// The caller owns each yielded graph. Intended for n <= 7: the labeled
+// space has 2^(n(n-1)/2) members and isomorphism reduction uses
 // CanonicalKey.
+func All(n int, opts EnumOptions) iter.Seq2[*Graph, string] {
+	return func(yield func(*Graph, string) bool) {
+		if n < 0 {
+			return
+		}
+		pairs := allPairs(n)
+		total := 1 << len(pairs)
+		maxE := opts.MaxEdges
+		if maxE < 0 {
+			maxE = len(pairs)
+		}
+		var seen map[string]bool
+		if opts.UpToIso {
+			seen = make(map[string]bool)
+		}
+		for mask := 0; mask < total; mask++ {
+			m := popcount(mask)
+			if m < opts.MinEdges || m > maxE {
+				continue
+			}
+			g := graphFromMask(n, pairs, mask)
+			if opts.ConnectedOnly && !g.Connected() {
+				continue
+			}
+			key := ""
+			if opts.UpToIso {
+				key = g.CanonicalKey()
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+			}
+			if !yield(g, key) {
+				return
+			}
+		}
+	}
+}
+
+// Enumerate calls yield with graphs on n nodes matching opts, and returns
+// how many were yielded. It is the callback shim over All; new code should
+// range over All directly, which also supports early break.
 func Enumerate(n int, opts EnumOptions, yield func(*Graph)) int {
 	return EnumerateKeyed(n, opts, func(g *Graph, _ string) { yield(g) })
 }
@@ -23,36 +70,11 @@ func Enumerate(n int, opts EnumOptions, yield func(*Graph)) int {
 // EnumerateKeyed is Enumerate, additionally passing each yielded graph's
 // canonical key — computed anyway for the isomorphism reduction — so
 // canonical-form caches downstream need not recompute it. When UpToIso is
-// false no canonical form is computed and the key argument is empty.
+// false no canonical form is computed and the key argument is empty. It is
+// the callback shim over All.
 func EnumerateKeyed(n int, opts EnumOptions, yield func(*Graph, string)) int {
-	if n < 0 {
-		return 0
-	}
-	pairs := allPairs(n)
-	total := 1 << len(pairs)
-	maxE := opts.MaxEdges
-	if maxE < 0 {
-		maxE = len(pairs)
-	}
-	seen := make(map[string]bool)
 	count := 0
-	for mask := 0; mask < total; mask++ {
-		m := popcount(mask)
-		if m < opts.MinEdges || m > maxE {
-			continue
-		}
-		g := graphFromMask(n, pairs, mask)
-		if opts.ConnectedOnly && !g.Connected() {
-			continue
-		}
-		key := ""
-		if opts.UpToIso {
-			key = g.CanonicalKey()
-			if seen[key] {
-				continue
-			}
-			seen[key] = true
-		}
+	for g, key := range All(n, opts) {
 		count++
 		yield(g, key)
 	}

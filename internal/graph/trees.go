@@ -2,6 +2,7 @@ package graph
 
 import (
 	"fmt"
+	"iter"
 	"sort"
 	"strings"
 )
@@ -101,53 +102,69 @@ func PruferEncode(g *Graph) ([]int, error) {
 	return seq, nil
 }
 
-// FreeTrees calls yield with one representative of every isomorphism class
-// of trees on n nodes. Enumeration is deterministic. The callback owns the
-// graph. Returns the number of trees yielded.
+// AllFreeTrees returns an iterator over one representative of every
+// isomorphism class of trees on n nodes, paired with each tree's canonical
+// FreeTreeKey — computed anyway for the isomorphism reduction — so
+// canonical-form caches downstream need not recompute it. Enumeration is
+// deterministic; breaking out of the range stops the underlying rooted-tree
+// generation immediately. The caller owns each yielded graph.
 //
 // Implementation: Beyer–Hedetniemi level-sequence generation of all rooted
 // trees, reduced to free trees by AHU canonical hashing at the tree center.
+func AllFreeTrees(n int) iter.Seq2[*Graph, string] {
+	return func(yield func(*Graph, string) bool) {
+		if n <= 0 {
+			return
+		}
+		if n == 1 {
+			g := New(1)
+			yield(g, FreeTreeKey(g))
+			return
+		}
+		seen := make(map[string]bool)
+		rootedTrees(n, func(level []int) bool {
+			g := treeFromLevels(level)
+			key := FreeTreeKey(g)
+			if seen[key] {
+				return true
+			}
+			seen[key] = true
+			return yield(g, key)
+		})
+	}
+}
+
+// FreeTrees calls yield with one representative of every isomorphism class
+// of trees on n nodes and returns how many were yielded. It is the callback
+// shim over AllFreeTrees; new code should range over AllFreeTrees directly,
+// which also supports early break.
 func FreeTrees(n int, yield func(*Graph)) int {
 	return FreeTreesKeyed(n, func(g *Graph, _ string) { yield(g) })
 }
 
 // FreeTreesKeyed is FreeTrees, additionally passing each tree's canonical
-// FreeTreeKey — computed anyway for the isomorphism reduction — so
-// canonical-form caches downstream need not recompute it.
+// FreeTreeKey. It is the callback shim over AllFreeTrees.
 func FreeTreesKeyed(n int, yield func(*Graph, string)) int {
-	if n <= 0 {
-		return 0
-	}
-	if n == 1 {
-		g := New(1)
-		yield(g, FreeTreeKey(g))
-		return 1
-	}
-	seen := make(map[string]bool)
 	count := 0
-	rootedTrees(n, func(level []int) {
-		g := treeFromLevels(level)
-		key := FreeTreeKey(g)
-		if seen[key] {
-			return
-		}
-		seen[key] = true
+	for g, key := range AllFreeTrees(n) {
 		count++
 		yield(g, key)
-	})
+	}
 	return count
 }
 
 // rootedTrees generates the canonical level sequences of all rooted trees on
-// n nodes (Beyer–Hedetniemi successor rule) and calls f with each. The
-// slice passed to f is reused.
-func rootedTrees(n int, f func(level []int)) {
+// n nodes (Beyer–Hedetniemi successor rule) and calls f with each until f
+// returns false. The slice passed to f is reused.
+func rootedTrees(n int, f func(level []int) bool) {
 	level := make([]int, n)
 	for i := range level {
 		level[i] = i + 1 // the path: levels 1,2,...,n
 	}
 	for {
-		f(level)
+		if !f(level) {
+			return
+		}
 		// Find rightmost position p with level[p] > 2.
 		p := -1
 		for i := n - 1; i >= 0; i-- {

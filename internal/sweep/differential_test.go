@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/eq"
@@ -57,7 +58,7 @@ func TestDifferentialSweepMatchesSequential(t *testing.T) {
 		cache := NewCache()
 		want := sequentialVectors(t, n, alphas, concepts)
 		for run, label := range []string{"cold", "warm"} {
-			res, err := Run(Options{
+			res, err := Run(context.Background(), Options{
 				N:        n,
 				Alphas:   alphas,
 				Concepts: concepts,
@@ -109,7 +110,7 @@ func TestDifferentialTreesMatchesSequential(t *testing.T) {
 	graph.FreeTrees(n, func(g *graph.Graph) {
 		want = append(want, ref{stable: eq.Check(gm, g, eq.PS).Stable, rho: gm.Rho(g)})
 	})
-	res, err := Run(Options{
+	res, err := Run(context.Background(), Options{
 		N:        n,
 		Alphas:   []game.Alpha{alpha},
 		Concepts: []eq.Concept{eq.PS},

@@ -1,0 +1,93 @@
+package sweep
+
+import (
+	"encoding/json"
+
+	"repro/internal/graph"
+)
+
+// The JSON schema of a sweep result is part of the v2 API surface: field
+// names and order are stable, α values and concepts render as their exact
+// string forms, and each isomorphism class is encoded once in "graph_list"
+// (in enumeration order) rather than per item. Consumers rejoin an item to
+// its graph via "graph_index".
+type resultJSON struct {
+	N           int        `json:"n"`
+	Source      string     `json:"source"`
+	Alphas      []string   `json:"alphas"`
+	Concepts    []string   `json:"concepts"`
+	Workers     int        `json:"workers"`
+	Graphs      int        `json:"graphs"`
+	Completed   int        `json:"completed"`
+	CacheHits   int64      `json:"cache_hits"`
+	CacheMisses int64      `json:"cache_misses"`
+	GraphList   []string   `json:"graph_list"`
+	Items       []itemJSON `json:"items"`
+}
+
+type itemJSON struct {
+	AlphaIndex int     `json:"alpha_index"`
+	GraphIndex int     `json:"graph_index"`
+	Vector     uint16  `json:"vector"`
+	Rho        float64 `json:"rho,omitempty"`
+	FromCache  bool    `json:"from_cache,omitempty"`
+	Done       bool    `json:"done"`
+}
+
+// MarshalJSON implements a stable JSON encoding of the sweep outcome. On a
+// cancelled sweep, unfinished items carry "done": false and zero verdicts.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	out := resultJSON{
+		N:           r.N,
+		Source:      r.Source.String(),
+		Alphas:      make([]string, len(r.Alphas)),
+		Concepts:    make([]string, len(r.Concepts)),
+		Workers:     r.Workers,
+		Graphs:      r.Graphs,
+		Completed:   r.Completed,
+		CacheHits:   r.Hits,
+		CacheMisses: r.Misses,
+		GraphList:   make([]string, 0, r.Graphs),
+		Items:       make([]itemJSON, len(r.Items)),
+	}
+	for i, a := range r.Alphas {
+		out.Alphas[i] = a.String()
+	}
+	for i, c := range r.Concepts {
+		out.Concepts[i] = c.String()
+	}
+	complete := r.Completed == len(r.Items)
+	for gi := 0; gi < r.Graphs; gi++ {
+		if g := r.Items[gi].Graph; g != nil {
+			out.GraphList = append(out.GraphList, graph.Encode(g))
+		} else {
+			// The α=0 row may be incomplete on a cancelled sweep; recover
+			// the representative from any completed row.
+			enc := ""
+			for ai := 1; ai < len(r.Alphas); ai++ {
+				if g := r.Items[ai*r.Graphs+gi].Graph; g != nil {
+					enc = graph.Encode(g)
+					break
+				}
+			}
+			out.GraphList = append(out.GraphList, enc)
+		}
+	}
+	for i, it := range r.Items {
+		out.Items[i] = itemJSON{
+			AlphaIndex: it.AlphaIndex,
+			GraphIndex: it.GraphIndex,
+			Vector:     uint16(it.Vector),
+			Rho:        it.Rho,
+			FromCache:  it.FromCache,
+			Done:       complete || it.Graph != nil,
+		}
+		if !complete && it.Graph == nil {
+			// Zero-value entry of a cancelled sweep: make the indices
+			// self-describing anyway.
+			out.Items[i].AlphaIndex = i / r.Graphs
+			out.Items[i].GraphIndex = i % r.Graphs
+		}
+	}
+	return json.Marshal(out)
+}

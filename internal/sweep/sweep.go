@@ -8,7 +8,8 @@
 // experiments:
 //
 //   - Determinism. Results are indexed by (α, graph) task id, so Items and
-//     Report are byte-identical for every worker count. Nothing about
+//     Report are byte-identical for every worker count, and the streaming
+//     path delivers items in exactly that α-major order. Nothing about
 //     scheduling leaks into the output.
 //   - Isolation. Checkers mutate the graph under test while exploring moves,
 //     so each task evaluates a private clone with a per-worker Evaluator;
@@ -24,10 +25,18 @@
 // Workers claim tasks from a shared atomic counter — idle workers steal the
 // next undone (α, graph) pair, so a single expensive BSE instance cannot
 // stall the rest of the grid behind a static partition.
+//
+// Every entry point takes a context.Context. Cancelling it stops the sweep
+// within one task granularity: workers check the context between tasks,
+// drain without leaking goroutines, and Run returns the partial Result
+// (completed tasks filled in, Completed counting them) together with
+// ctx.Err().
 package sweep
 
 import (
+	"context"
 	"fmt"
+	"iter"
 	"runtime"
 	"strings"
 	"sync"
@@ -79,6 +88,15 @@ type Options struct {
 	// Rho additionally computes the social cost ratio ρ of every graph,
 	// for Price-of-Anarchy reductions over the sweep.
 	Rho bool
+	// OnItem, when non-nil, receives every completed Item incrementally in
+	// the deterministic α-major order of Result.Items — the same order at
+	// every worker count. It is called from the coordinating goroutine
+	// (never concurrently) while workers keep computing.
+	OnItem func(Item)
+	// Progress, when non-nil, is called from the coordinating goroutine
+	// after each completed task with (done, total). Completion order is
+	// scheduling-dependent; only the counts are reported.
+	Progress func(done, total int)
 }
 
 // Vector is a stability bit vector over a sweep's concept grid: bit i is
@@ -118,13 +136,24 @@ type Result struct {
 	// order: Items[ai*Graphs+gi] is graph gi at Alphas[ai], with graphs in
 	// enumeration order.
 	Items []Item
+	// Completed counts the tasks that finished. It equals len(Items)
+	// unless the sweep was cancelled, in which case the unfinished entries
+	// of Items are zero values.
+	Completed int
 	// Hits and Misses count per-concept verdicts served by the cache and
 	// computed by checkers, respectively.
 	Hits, Misses int64
 }
 
-// Run executes the sweep described by opts.
-func Run(opts Options) (*Result, error) {
+// Run executes the sweep described by opts. Cancelling ctx stops the sweep
+// within one task granularity; Run then still returns the partial Result —
+// every task completed before cancellation is filled in and counted by
+// Completed — along with ctx.Err(). A nil Result is returned only for
+// invalid options.
+func Run(ctx context.Context, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if opts.N < 1 {
 		return nil, fmt.Errorf("sweep: need at least one node, got %d", opts.N)
 	}
@@ -146,51 +175,70 @@ func Run(opts Options) (*Result, error) {
 		games[i] = gm
 	}
 
-	// Materialize the isomorphism-free stream once; the per-graph canonical
-	// keys come for free from the enumeration's own reduction.
-	var graphs []*graph.Graph
-	var keys []string
-	collect := func(g *graph.Graph, key string) {
-		graphs = append(graphs, g)
-		keys = append(keys, key)
-	}
-	switch opts.Source {
-	case Graphs:
-		graph.EnumerateKeyed(opts.N, graph.EnumOptions{
-			ConnectedOnly: true,
-			UpToIso:       true,
-			MaxEdges:      -1,
-		}, collect)
-	case Trees:
-		graph.FreeTreesKeyed(opts.N, collect)
-	default:
-		return nil, fmt.Errorf("sweep: unknown source %v", opts.Source)
-	}
-
 	res := &Result{
 		N:        opts.N,
 		Source:   opts.Source,
 		Alphas:   opts.Alphas,
 		Concepts: opts.Concepts,
 		Workers:  opts.Workers,
-		Graphs:   len(graphs),
-		Items:    make([]Item, len(graphs)*len(opts.Alphas)),
 	}
 	if res.Workers <= 0 {
 		res.Workers = runtime.GOMAXPROCS(0)
 	}
 
+	// Materialize the isomorphism-free stream once; the per-graph canonical
+	// keys come for free from the enumeration's own reduction. The iterator
+	// is polled against ctx so a cancelled sweep stops enumerating too.
+	var stream iter.Seq2[*graph.Graph, string]
+	switch opts.Source {
+	case Graphs:
+		stream = graph.All(opts.N, graph.EnumOptions{
+			ConnectedOnly: true,
+			UpToIso:       true,
+			MaxEdges:      -1,
+		})
+	case Trees:
+		stream = graph.AllFreeTrees(opts.N)
+	default:
+		return nil, fmt.Errorf("sweep: unknown source %v", opts.Source)
+	}
+	var graphs []*graph.Graph
+	var keys []string
+	for g, key := range stream {
+		if ctx.Err() != nil {
+			break
+		}
+		graphs = append(graphs, g)
+		keys = append(keys, key)
+	}
+	res.Graphs = len(graphs)
+	res.Items = make([]Item, len(graphs)*len(opts.Alphas))
+	if err := ctx.Err(); err != nil {
+		// Cancelled during enumeration: the grid is unreliable, report it
+		// as an empty partial result.
+		res.Graphs, res.Items = 0, nil
+		return res, err
+	}
+
+	total := len(res.Items)
 	allMask := Vector(1)<<len(opts.Concepts) - 1
 	var next, hits, misses atomic.Int64
+	// The channel buffers every possible task, so a worker's send never
+	// blocks and cancellation cannot strand a worker mid-handoff.
+	type completion struct {
+		t  int
+		it Item
+	}
+	completions := make(chan completion, total)
 	var wg sync.WaitGroup
 	for w := 0; w < res.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			ev := eq.NewEvaluator()
-			for {
+			for ctx.Err() == nil {
 				t := int(next.Add(1)) - 1
-				if t >= len(res.Items) {
+				if t >= total {
 					return
 				}
 				ai, gi := t/len(graphs), t%len(graphs)
@@ -224,18 +272,78 @@ func Run(opts Options) (*Result, error) {
 				if opts.Rho {
 					it.Rho = games[ai].Rho(g)
 				}
-				res.Items[t] = it
+				completions <- completion{t, it}
 			}
 		}()
 	}
-	wg.Wait()
+	go func() {
+		wg.Wait()
+		close(completions)
+	}()
+
+	// Coordinate: collect completions (in scheduling order), emit OnItem in
+	// strict task order. The range ends when every worker has drained —
+	// either all tasks are done or ctx fired — so no goroutine outlives Run.
+	have := make([]bool, total)
+	emitted := 0
+	for c := range completions {
+		res.Items[c.t] = c.it
+		have[c.t] = true
+		res.Completed++
+		if opts.Progress != nil {
+			opts.Progress(res.Completed, total)
+		}
+		if opts.OnItem != nil {
+			for emitted < total && have[emitted] {
+				opts.OnItem(res.Items[emitted])
+				emitted++
+			}
+		}
+	}
 	res.Hits, res.Misses = hits.Load(), misses.Load()
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	return res, nil
+}
+
+// Stream executes the sweep described by opts and returns an iterator over
+// its Items, delivered incrementally in the same deterministic α-major
+// order as Result.Items — byte-identical at every worker count. Breaking
+// out of the range cancels the underlying sweep, which drains its workers
+// before the iterator returns. A caller-supplied Options.OnItem still
+// fires, immediately before each item is yielded (and for items completing
+// after an early break). Invalid options yield an empty sequence; use Run
+// with Options.OnItem when the error or the final Result is needed.
+func Stream(ctx context.Context, opts Options) iter.Seq[Item] {
+	return func(yield func(Item) bool) {
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+		callerHook := opts.OnItem
+		stopped := false
+		opts.OnItem = func(it Item) {
+			if callerHook != nil {
+				callerHook(it)
+			}
+			if stopped {
+				return
+			}
+			if !yield(it) {
+				stopped = true
+				cancel()
+			}
+		}
+		_, _ = Run(ctx, opts)
+	}
 }
 
 // Report renders a deterministic summary: the stream size and, per α, how
 // many graphs are stable for each concept. Equal option grids produce
-// byte-identical reports for every worker count and cache state.
+// byte-identical reports for every worker count and cache state. On a
+// cancelled sweep the counts cover only the completed tasks.
 func (r *Result) Report() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "sweep n=%d source=%s: %d graphs × %d α × %d concepts\n",

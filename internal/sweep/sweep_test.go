@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -21,7 +22,7 @@ func latticeOptions(n, workers int, cache *Cache) Options {
 // mustRun runs a sweep and fails the test on error.
 func mustRun(t *testing.T, opts Options) *Result {
 	t.Helper()
-	res, err := Run(opts)
+	res, err := Run(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,7 +150,7 @@ func TestSweepOptionValidation(t *testing.T) {
 	} {
 		opts := base
 		mutate(&opts)
-		if _, err := Run(opts); err == nil {
+		if _, err := Run(context.Background(), opts); err == nil {
 			t.Errorf("%s: invalid options accepted", name)
 		}
 	}
