@@ -194,6 +194,52 @@ func BenchmarkSweepLatticeN6_Workers1(b *testing.B) { benchSweepLattice(b, 1) }
 
 func BenchmarkSweepLatticeN6_WorkersNumCPU(b *testing.B) { benchSweepLattice(b, runtime.NumCPU()) }
 
+// BenchmarkStoreWarmStart measures the cross-run replay path the verdict
+// store adds: opening a store holding a Full-scale lattice sweep's worth
+// of verdicts (112 graph classes × 6 α × 9 concepts = 6048 records) and
+// warm-starting a fresh cache from it — the cost a process pays before
+// its first sweep is served from disk instead of recomputed.
+func BenchmarkStoreWarmStart(b *testing.B) {
+	dir := b.TempDir()
+	st, err := bncg.OpenStore(dir, bncg.StoreOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := func(i int) bncg.StoreRecord {
+		return bncg.StoreRecord{
+			// Canonical keys of n=6 graphs are 15 bytes over {0x00, 0x01}.
+			Canon:   string([]byte{0, 1, 0, 1, 0, 1, 0, byte(i), byte(i >> 8), 1, 0, 1, 0, 1, 0}),
+			Num:     int64(i%6 + 1),
+			Den:     int64(i%2 + 1),
+			Concept: uint8(i%9 + 1),
+			Stable:  i%3 == 0,
+		}
+	}
+	const records = 112 * 6 * 9
+	for i := 0; i < records; i++ {
+		if err := st.Put(rec(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := bncg.OpenStore(dir, bncg.StoreOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cache := bncg.NewSweepCache()
+		if loaded := cache.WarmStart(st); loaded == 0 {
+			b.Fatal("warm start loaded nothing")
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSweepLatticeN6_WarmCache(b *testing.B) {
 	cache := bncg.NewSweepCache()
 	if _, err := bncg.RunSweep(context.Background(), sweepLatticeOptions(runtime.NumCPU(), cache)); err != nil {

@@ -10,6 +10,8 @@ import (
 	"repro/internal/graph"
 	"repro/internal/move"
 	"repro/internal/ncg"
+	"repro/internal/server"
+	"repro/internal/store"
 	"repro/internal/sweep"
 )
 
@@ -197,6 +199,54 @@ var (
 	// SharedSweepCache returns the process-wide verdict cache the
 	// experiments and PoA searches share.
 	SharedSweepCache = sweep.Shared
+)
+
+// ParseAlpha parses an exact edge price from its string form ("3", "9/2").
+var ParseAlpha = game.ParseAlpha
+
+// ParseConcept parses a concept from its paper name ("PS", "2-BSE", …).
+var ParseConcept = eq.ParseConcept
+
+// Persistent verdict store and HTTP serving daemon (v3).
+type (
+	// VerdictStore is the append-only, sharded on-disk verdict store. Open
+	// one with OpenStore, warm-start a SweepCache from it with
+	// SweepCache.WarmStart, and attach it as the cache's write-behind sink
+	// with SweepCache.Persist.
+	VerdictStore = store.Store
+	// StoreOptions configures OpenStore (shards, fsync batching).
+	StoreOptions = store.Options
+	// StoreRecord is one persisted verdict.
+	StoreRecord = store.Record
+	// StoreStats is a store observability snapshot.
+	StoreStats = store.Stats
+	// SweepCacheStats is a cache observability snapshot (entries plus
+	// lifetime hits and misses).
+	SweepCacheStats = sweep.CacheStats
+	// SweepCheckpoint is the durable grid spec + progress of a resumable
+	// sweep, saved in a store via VerdictStore.SaveCheckpoint.
+	SweepCheckpoint = sweep.Checkpoint
+	// ServerConfig configures NewServer.
+	ServerConfig = server.Config
+	// Server is the HTTP serving daemon behind `bncg serve`: /v1/sweep
+	// (NDJSON streaming), /v1/poa, /v1/check and /healthz.
+	Server = server.Server
+)
+
+var (
+	// OpenStore opens (creating if necessary) a verdict store directory,
+	// recovering cleanly from torn tails left by a crash.
+	OpenStore = store.Open
+	// NewServer returns the HTTP daemon for a config.
+	NewServer = server.New
+	// NewSweepCheckpoint captures a sweep grid and its progress for
+	// VerdictStore.SaveCheckpoint / `bncg sweep -resume`.
+	NewSweepCheckpoint = sweep.NewCheckpoint
+	// ResetSharedSweepCache replaces the process-wide verdict cache with a
+	// fresh one and returns it. It exists for tests: assertions about hit
+	// and miss counts are otherwise coupled to every sweep an earlier test
+	// ran through the shared cache.
+	ResetSharedSweepCache = sweep.ResetShared
 )
 
 // Iterator enumeration (v2). Both iterators support early break, which

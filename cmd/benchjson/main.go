@@ -5,10 +5,15 @@
 // Usage:
 //
 //	go test -run '^$' -bench Sweep -benchtime 1x -benchmem ./... | benchjson -out BENCH_sweep.json
+//	go test -run '^$' -bench 'Sweep|Store' -benchtime 1x -benchmem . | benchjson -append -note "PR 3" -out BENCH_sweep.json
 //
-// With no -out the JSON is written to stdout. Lines that are not benchmark
-// results contribute only to the captured environment header (goos, goarch,
-// pkg, cpu); unparseable lines are ignored, so the tool is safe to feed the
+// With no -out the JSON is written to stdout. With -append the output file
+// becomes a trajectory: a JSON array of runs, to which the parsed run is
+// appended (a pre-existing single-run object is wrapped first) — the
+// repository's BENCH_sweep.json accumulates one entry per recorded data
+// point, a curve instead of a dot. Lines that are not benchmark results
+// contribute only to the captured environment header (goos, goarch, pkg,
+// cpu); unparseable lines are ignored, so the tool is safe to feed the
 // full `go test` output including PASS/ok trailers.
 package main
 
@@ -32,8 +37,9 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 }
 
-// Document is the emitted JSON root.
+// Document is one benchmark run in the emitted JSON.
 type Document struct {
+	Note    string   `json:"note,omitempty"`
 	Goos    string   `json:"goos,omitempty"`
 	Goarch  string   `json:"goarch,omitempty"`
 	Pkg     string   `json:"pkg,omitempty"`
@@ -43,13 +49,25 @@ type Document struct {
 
 func main() {
 	out := flag.String("out", "", "output file (default: stdout)")
+	appendRun := flag.Bool("append", false, "append the run to the trajectory (JSON array) in -out instead of overwriting")
+	note := flag.String("note", "", "free-form label recorded on the run")
 	flag.Parse()
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-	enc, err := json.MarshalIndent(doc, "", "  ")
+	doc.Note = *note
+	var v any = doc
+	if *appendRun {
+		trajectory, err := loadTrajectory(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		v = append(trajectory, *doc)
+	}
+	enc, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -63,6 +81,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// loadTrajectory reads the existing runs in path: a JSON array of runs, a
+// legacy single-run object (wrapped into a one-element trajectory), or
+// nothing at all.
+func loadTrajectory(path string) ([]Document, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var docs []Document
+	if json.Unmarshal(data, &docs) == nil {
+		return docs, nil
+	}
+	var single Document
+	if err := json.Unmarshal(data, &single); err != nil {
+		return nil, fmt.Errorf("%s is neither a trajectory nor a run: %w", path, err)
+	}
+	return []Document{single}, nil
 }
 
 func parse(r io.Reader) (*Document, error) {

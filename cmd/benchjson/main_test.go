@@ -1,6 +1,9 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -43,5 +46,42 @@ func TestParseIgnoresGarbage(t *testing.T) {
 	}
 	if len(doc.Results) != 0 {
 		t.Fatalf("garbage produced results: %+v", doc.Results)
+	}
+}
+
+// TestLoadTrajectory: -append composes with an empty file, a legacy
+// single-run object, and an existing trajectory array.
+func TestLoadTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	if docs, err := loadTrajectory(filepath.Join(dir, "absent.json")); err != nil || docs != nil {
+		t.Fatalf("absent file: %v %v", docs, err)
+	}
+	legacy := filepath.Join(dir, "legacy.json")
+	if err := os.WriteFile(legacy, []byte(`{"goos":"linux","results":[{"name":"B1","iterations":1,"ns_per_op":5}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := loadTrajectory(legacy)
+	if err != nil || len(docs) != 1 || docs[0].Goos != "linux" || len(docs[0].Results) != 1 {
+		t.Fatalf("legacy object: %+v %v", docs, err)
+	}
+	docs = append(docs, Document{Note: "second", Results: []Result{{Name: "B2", Iterations: 1, NsPerOp: 7}}})
+	enc, err := json.MarshalIndent(docs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	traj := filepath.Join(dir, "traj.json")
+	if err := os.WriteFile(traj, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	back, err := loadTrajectory(traj)
+	if err != nil || len(back) != 2 || back[1].Note != "second" {
+		t.Fatalf("trajectory array: %+v %v", back, err)
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadTrajectory(bad); err == nil {
+		t.Fatal("garbage accepted as a trajectory")
 	}
 }

@@ -13,11 +13,22 @@
 //	bncg [-timeout <d>] poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs] [-json]
 //	bncg [-timeout <d>] sweep [-n <nodes>] [-workers <w>] [-alphas <grid>]
 //	     [-concepts <list>] [-trees] [-rho] [-json] [-progress]
+//	     [-store <dir>] [-resume]
+//	bncg serve [-addr <host:port>] [-store <dir>] [-workers <w>]
+//	     [-max-n <n>] [-max-tree-n <n>] [-request-timeout <d>]
+//	bncg store stats|compact -dir <dir>
 //
 // The global -timeout flag bounds the whole invocation; SIGINT (Ctrl-C)
 // cancels gracefully. In both cases the long-running subcommands (sweep,
 // poa, experiment) drain their workers, print the partial report computed
-// so far, and exit non-zero. A second SIGINT kills the process.
+// so far, and exit non-zero; serve shuts down gracefully and exits zero.
+// A second SIGINT kills the process.
+//
+// With -store, sweep warm-starts the verdict cache from the persistent
+// store, appends every newly computed verdict to it, and checkpoints its
+// progress — an interrupted grid continues with `sweep -store <dir>
+// -resume` and finishes with byte-identical Items. serve backs the HTTP
+// daemon with the same store.
 //
 // Graphs are read in the plain text edge-list format ("n <count>" then one
 // "u v" pair per line); with no -file, standard input is read.
@@ -30,11 +41,16 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"slices"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	bncg "repro"
 )
@@ -72,7 +88,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		defer cancel()
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep)")
+		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, serve, store)")
 	}
 	switch args[0] {
 	case "list":
@@ -89,6 +105,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return runPoA(ctx, args[1:], stdout)
 	case "sweep":
 		return runSweep(ctx, args[1:], stdout)
+	case "serve":
+		return runServe(ctx, args[1:], stdout)
+	case "store":
+		return runStore(args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -254,29 +274,11 @@ func parseAlpha(s string) (bncg.Alpha, error) {
 	if s == "" {
 		return bncg.Alpha{}, fmt.Errorf("missing -alpha")
 	}
-	num, den := s, "1"
-	if i := strings.IndexByte(s, '/'); i >= 0 {
-		num, den = s[:i], s[i+1:]
-	}
-	p, err1 := strconv.ParseInt(num, 10, 64)
-	q, err2 := strconv.ParseInt(den, 10, 64)
-	if err1 != nil || err2 != nil {
-		return bncg.Alpha{}, fmt.Errorf("bad alpha %q (want p or p/q)", s)
-	}
-	return bncg.NewAlpha(p, q)
+	return bncg.ParseAlpha(s)
 }
 
 func parseConcept(s string) (bncg.Concept, error) {
-	concepts := map[string]bncg.Concept{
-		"RE": bncg.RE, "BAE": bncg.BAE, "PS": bncg.PS, "BSwE": bncg.BSwE,
-		"BGE": bncg.BGE, "BNE": bncg.BNE, "2-BSE": bncg.TwoBSE,
-		"3-BSE": bncg.ThreeBSE, "BSE": bncg.BSE,
-	}
-	c, ok := concepts[s]
-	if !ok {
-		return 0, fmt.Errorf("unknown concept %q (want RE, BAE, PS, BSwE, BGE, BNE, 2-BSE, 3-BSE, BSE)", s)
-	}
-	return c, nil
+	return bncg.ParseConcept(s)
 }
 
 func readGraph(file string, stdin io.Reader) (*bncg.Graph, error) {
@@ -361,6 +363,17 @@ func runCost(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
+// checkpointEvery is the task granularity of sweep progress checkpoints
+// written to -store.
+const checkpointEvery = 256
+
+// sameGrid reports whether two checkpoints describe the same sweep grid,
+// ignoring progress.
+func sameGrid(a, b bncg.SweepCheckpoint) bool {
+	return a.N == b.N && a.Source == b.Source && a.Rho == b.Rho &&
+		slices.Equal(a.Alphas, b.Alphas) && slices.Equal(a.Concepts, b.Concepts)
+}
+
 func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	n := fs.Int("n", 6, "node count (6 is the Full-scale lattice sweep)")
@@ -370,7 +383,9 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	trees := fs.Bool("trees", false, "sweep free trees instead of connected graphs")
 	rho := fs.Bool("rho", false, "also compute the social cost ratio ρ per graph")
 	asJSON := fs.Bool("json", false, "emit the full result as JSON instead of the text report")
-	progress := fs.Bool("progress", false, "report task completion on stderr")
+	progress := fs.Bool("progress", false, "report task completion and cache stats on stderr")
+	storeDir := fs.String("store", "", "verdict store directory: warm-start the cache, persist new verdicts, checkpoint progress")
+	resume := fs.Bool("resume", false, "resume the checkpointed sweep in -store (grid flags come from the checkpoint)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -401,11 +416,61 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 		N:        *n,
 		Alphas:   alphas,
 		Concepts: concepts,
-		Workers:  *workers,
 		Source:   source,
-		Cache:    bncg.SharedSweepCache(),
 		Rho:      *rho,
 	}
+
+	cache := bncg.SharedSweepCache()
+	var st *bncg.VerdictStore
+	if *storeDir != "" {
+		var err error
+		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		defer cache.Persist(nil)
+		if loaded := cache.WarmStart(st); loaded > 0 && *progress {
+			fmt.Fprintf(os.Stderr, "store: warm-started %d verdicts from %s\n", loaded, *storeDir)
+		}
+		cache.Persist(st)
+	}
+	if *resume {
+		if st == nil {
+			return fmt.Errorf("sweep: -resume requires -store")
+		}
+		var cp bncg.SweepCheckpoint
+		ok, err := st.LoadCheckpoint(&cp)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			return fmt.Errorf("sweep: nothing to resume: no checkpoint in %s", *storeDir)
+		}
+		resumed, err := cp.Options()
+		if err != nil {
+			return err
+		}
+		opts = resumed
+		fmt.Fprintf(os.Stderr, "sweep: resuming n=%d source=%s grid at %d/%d tasks\n",
+			opts.N, opts.Source, cp.Completed, cp.Total)
+	} else if st != nil {
+		// Don't clobber another grid's resume state: a checkpoint in the
+		// store means an interrupted sweep; only that same grid (whose
+		// completion legitimately clears it) may run without -resume.
+		var cp bncg.SweepCheckpoint
+		ok, err := st.LoadCheckpoint(&cp)
+		if err != nil {
+			return err
+		}
+		if ok && !sameGrid(cp, bncg.NewSweepCheckpoint(opts, 0, 0)) {
+			return fmt.Errorf("sweep: %s holds the checkpoint of an interrupted n=%d source=%s sweep (%d/%d tasks); continue it with `sweep -store %s -resume`, or delete %s to abandon it",
+				*storeDir, cp.N, cp.Source, cp.Completed, cp.Total, *storeDir, filepath.Join(*storeDir, "checkpoint.json"))
+		}
+	}
+	opts.Workers = *workers
+	opts.Cache = cache
+
 	if *progress {
 		opts.Progress = func(done, total int) {
 			if done%64 == 0 || done == total {
@@ -416,9 +481,36 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 			}
 		}
 	}
+	if st != nil {
+		// Checkpoint the grid spec + progress alongside the persisted
+		// verdicts, so `sweep -store <dir> -resume` can continue after an
+		// interrupt (or a crash, up to the store's flush batching).
+		grid := opts
+		prev := opts.Progress
+		opts.Progress = func(done, total int) {
+			if prev != nil {
+				prev(done, total)
+			}
+			if done%checkpointEvery == 0 {
+				_ = st.SaveCheckpoint(bncg.NewSweepCheckpoint(grid, total, done))
+			}
+		}
+	}
+
 	res, err := bncg.RunSweep(ctx, opts)
 	if err != nil && !interrupted(err) {
 		return err
+	}
+	if st != nil {
+		if err == nil {
+			// The grid is complete; the store holds every verdict and the
+			// checkpoint has nothing left to describe.
+			if cerr := st.ClearCheckpoint(); cerr != nil {
+				return cerr
+			}
+		} else {
+			_ = st.SaveCheckpoint(bncg.NewSweepCheckpoint(opts, len(res.Items), res.Completed))
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
@@ -430,10 +522,117 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprint(stdout, res.Report())
 		fmt.Fprintf(stdout, "workers=%d cache: %d hits, %d misses\n", res.Workers, res.Hits, res.Misses)
 	}
+	if *progress {
+		stats := cache.Stats()
+		fmt.Fprintf(os.Stderr, "cache: %d entries, lifetime %d hits / %d misses\n",
+			stats.Entries, stats.Hits, stats.Misses)
+	}
 	if err != nil {
 		return fmt.Errorf("interrupted with %d of %d tasks done: %w", res.Completed, len(res.Items), err)
 	}
 	return nil
+}
+
+func runServe(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", "127.0.0.1:8371", "listen address")
+	storeDir := fs.String("store", "", "verdict store directory backing the daemon")
+	workers := fs.Int("workers", 0, "sweep worker pool per computation (0 = all CPUs)")
+	maxN := fs.Int("max-n", 0, "cap on n for connected-graph requests (0 = default 7)")
+	maxTreeN := fs.Int("max-tree-n", 0, "cap on n for free-tree requests (0 = default 12)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-computation deadline (0 = default 2m)")
+	flushInterval := fs.Duration("flush-interval", 2*time.Second, "store fsync batching interval")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cache := bncg.SharedSweepCache()
+	var st *bncg.VerdictStore
+	if *storeDir != "" {
+		var err error
+		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{FlushInterval: *flushInterval})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		defer cache.Persist(nil)
+		loaded := cache.WarmStart(st)
+		cache.Persist(st)
+		fmt.Fprintf(stdout, "store: %s (%d verdicts warm-started)\n", *storeDir, loaded)
+	}
+	srv := bncg.NewServer(bncg.ServerConfig{
+		Cache:          cache,
+		Store:          st,
+		Workers:        *workers,
+		MaxN:           *maxN,
+		MaxTreeN:       *maxTreeN,
+		RequestTimeout: *reqTimeout,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "bncg serve: listening on http://%s\n", ln.Addr())
+	hs := &http.Server{Handler: srv}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case <-ctx.Done():
+		// Graceful drain: stop accepting, let streaming responses finish,
+		// then force-close laggards. A clean shutdown exits zero.
+		shctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shctx); err != nil {
+			_ = hs.Close()
+		}
+		<-errc
+		fmt.Fprintln(stdout, "bncg serve: shut down")
+		return nil
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	}
+}
+
+func runStore(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("store: want a verb: stats|compact")
+	}
+	verb, args := args[0], args[1:]
+	fs := flag.NewFlagSet("store "+verb, flag.ContinueOnError)
+	dir := fs.String("dir", "", "verdict store directory")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("store %s: missing -dir", verb)
+	}
+	// stats is a pure read: open without the writer lock so it works
+	// against a store a live daemon or sweep holds. compact rewrites
+	// segments and genuinely needs exclusivity.
+	st, err := bncg.OpenStore(*dir, bncg.StoreOptions{ReadOnly: verb == "stats"})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	switch verb {
+	case "stats":
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(st.Stats())
+	case "compact":
+		before := st.Stats()
+		if err := st.Compact(); err != nil {
+			return err
+		}
+		after := st.Stats()
+		fmt.Fprintf(stdout, "compacted %s: %d records, %d -> %d bytes\n",
+			*dir, after.Records, before.DiskBytes, after.DiskBytes)
+		return nil
+	default:
+		return fmt.Errorf("store: unknown verb %q (want stats|compact)", verb)
+	}
 }
 
 func runPoA(ctx context.Context, args []string, stdout io.Writer) error {

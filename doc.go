@@ -23,7 +23,10 @@
 //     vectors to the sequential checkers bit for bit (see EXPERIMENTS.md);
 //   - improving-response dynamics converging to PS/BGE states;
 //   - one experiment runner per table row and figure of the paper
-//     (package repro/internal/experiments, surfaced via Experiment).
+//     (package repro/internal/experiments, surfaced via Experiment);
+//   - a persistent verdict store (OpenStore) and an HTTP serving daemon
+//     (NewServer, `bncg serve`) that turn the sweep cache into a durable,
+//     network-served resource — see "The v3 API" below.
 //
 // # Quick start
 //
@@ -62,6 +65,34 @@
 // -json`, `bncg experiment -json` and `bncg poa -json` expose on the
 // command line.
 //
+// # The v3 API: persistence and serving
+//
+// Stability verdicts are pure functions of (canonical form, exact α,
+// concept), so the in-memory sweep cache extends naturally to disk and to
+// the network:
+//
+//   - OpenStore opens an append-only, sharded, CRC-framed verdict store.
+//     SweepCache.WarmStart replays it into a cache at startup and
+//     SweepCache.Persist registers it as the cache's write-behind sink, so
+//     every verdict any sweep, PoA search or check computes becomes
+//     durable (fsync-batched) and pre-warms every later run — the ~121×
+//     warm-replay win across processes and machines. The store recovers
+//     from crashes by truncating torn segment tails; Compact rewrites
+//     segments dropping superseded frames.
+//   - `bncg sweep -store <dir>` wires all of that up on the command line
+//     and checkpoints grid progress (VerdictStore.SaveCheckpoint);
+//     `bncg sweep -store <dir> -resume` continues an interrupted grid from
+//     the checkpoint and finishes with byte-identical Items and Report.
+//   - NewServer / `bncg serve` expose the engine over HTTP: /v1/sweep
+//     streams items as NDJSON in the deterministic StreamSweep order,
+//     /v1/poa answers Price-of-Anarchy searches, /v1/check verdicts an
+//     uploaded graph, and /healthz reports cache (SweepCache.Stats),
+//     store and traffic statistics. Identical in-flight requests are
+//     deduplicated (singleflight); a request abandoned by every client is
+//     cancelled and its workers drain. Per-request deadlines and n caps
+//     ride on the v2 context plumbing.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
-// the recorded reproduction results and the JSON schemas.
+// the recorded reproduction results, the file format of the verdict
+// store, and the NDJSON/JSON schemas of the serving endpoints.
 package bncg

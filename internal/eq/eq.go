@@ -75,6 +75,18 @@ func Concepts() []Concept {
 	return []Concept{RE, BAE, PS, BSwE, BGE, BNE, TwoBSE, ThreeBSE, BSE}
 }
 
+// ParseConcept parses a concept's paper name ("PS", "2-BSE", …) — the form
+// String renders — so concepts round-trip through flags, checkpoints and
+// URLs.
+func ParseConcept(s string) (Concept, error) {
+	for _, c := range Concepts() {
+		if s == c.String() {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("eq: unknown concept %q (want RE, BAE, PS, BSwE, BGE, BNE, 2-BSE, 3-BSE, BSE)", s)
+}
+
 // Result is a stability verdict with the violating move when unstable.
 type Result struct {
 	Stable  bool

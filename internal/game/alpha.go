@@ -11,6 +11,8 @@ package game
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Alpha is an exact non-negative rational edge price num/den.
@@ -90,6 +92,24 @@ func (a Alpha) LessThanInt(k int64) bool { return a.Cmp(k, 1) < 0 }
 
 // AtLeastInt reports a >= k.
 func (a Alpha) AtLeastInt(k int64) bool { return a.Cmp(k, 1) >= 0 }
+
+// ParseAlpha parses the forms String renders — "3" or "9/2" — back into
+// an exact price, so grids round-trip through flags, checkpoints and URLs.
+func ParseAlpha(s string) (Alpha, error) {
+	if s == "" {
+		return Alpha{}, fmt.Errorf("game: empty alpha")
+	}
+	num, den := s, "1"
+	if i := strings.IndexByte(s, '/'); i >= 0 {
+		num, den = s[:i], s[i+1:]
+	}
+	p, err1 := strconv.ParseInt(num, 10, 64)
+	q, err2 := strconv.ParseInt(den, 10, 64)
+	if err1 != nil || err2 != nil {
+		return Alpha{}, fmt.Errorf("game: bad alpha %q (want p or p/q)", s)
+	}
+	return NewAlpha(p, q)
+}
 
 // String renders the price ("3" or "9/2").
 func (a Alpha) String() string {

@@ -1,0 +1,579 @@
+// Package server implements the bncg serving daemon: an HTTP front end
+// over the sweep engine, the PoA searches and the equilibrium checkers,
+// backed by the shared verdict cache and (optionally) the persistent
+// verdict store, so repeat queries are pure memory or disk hits.
+//
+// Endpoints:
+//
+//	GET  /v1/sweep?n=5&alphas=1,2&concepts=PS,BSE[&trees=1][&rho=1]
+//	     — streams the sweep as NDJSON: one header line, one line per
+//	     (α, graph) item in the deterministic α-major stream order, one
+//	     summary trailer. Identical concurrent requests share a single
+//	     computation; a request cancelled by its client detaches, and the
+//	     computation itself is cancelled once its last subscriber is gone.
+//	GET  /v1/poa?n=8&alpha=4&concept=PS[&graphs=1]
+//	     — the exhaustive Price-of-Anarchy search, deduplicated across
+//	     concurrent identical requests, as one JSON object.
+//	POST /v1/check?alpha=3[&concept=PS][&witness=1]
+//	     — checks the graph uploaded as the request body (plain edge-list
+//	     format). Verdicts are served from the canonical-form cache when
+//	     possible; witness=1 forces recomputation so unstable verdicts
+//	     carry a witness move.
+//	GET  /healthz
+//	     — liveness plus cache, store and traffic statistics.
+//
+// Every request is bounded by Config.RequestTimeout and the Config size
+// caps; exceeding a cap is a 422, a malformed request a 400. Errors are
+// JSON objects {"error": "..."}.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/store"
+	"repro/internal/sweep"
+)
+
+// Config configures New. The zero value serves with the process-wide
+// shared cache, no store, and the documented default limits.
+type Config struct {
+	// Cache is the verdict cache backing /v1/sweep and /v1/check. Nil
+	// selects sweep.Shared() — which the PoA search uses unconditionally.
+	Cache *sweep.Cache
+	// Store, when non-nil, is reported by /healthz. The server never
+	// writes it directly: wiring it as the cache's write-behind sink
+	// (Cache.Persist), warm-starting the cache from it, and
+	// flushing/closing it on shutdown are the caller's composition — the
+	// bncg serve command does all three.
+	Store *store.Store
+	// Workers is the sweep worker-pool size per computation (0 = all CPUs).
+	Workers int
+	// MaxN and MaxTreeN cap the node count of sweep and PoA enumerations
+	// over connected graphs and free trees (defaults 7 and 12: the largest
+	// grids that stay interactive — beyond them the streams explode).
+	MaxN, MaxTreeN int
+	// MaxAlphas caps the α grid of one sweep request (default 16).
+	MaxAlphas int
+	// MaxCheckN caps the node count of an uploaded /v1/check graph
+	// (default 128); request bodies are capped at 1 MiB regardless.
+	MaxCheckN int
+	// RequestTimeout bounds every computation (default 2m). Shared
+	// computations time out as a whole, not per subscriber.
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cache == nil {
+		c.Cache = sweep.Shared()
+	}
+	if c.MaxN <= 0 {
+		c.MaxN = 7
+	}
+	if c.MaxTreeN <= 0 {
+		c.MaxTreeN = 12
+	}
+	if c.MaxAlphas <= 0 {
+		c.MaxAlphas = 16
+	}
+	if c.MaxCheckN <= 0 {
+		c.MaxCheckN = 128
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 2 * time.Minute
+	}
+	return c
+}
+
+// Server is the HTTP handler of the serving daemon.
+type Server struct {
+	cfg     Config
+	mux     *http.ServeMux
+	sweeps  *flightGroup
+	calls   *callGroup
+	started time.Time
+
+	inflight atomic.Int64
+	served   atomic.Int64
+}
+
+// New returns a Server for cfg.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:     cfg.withDefaults(),
+		mux:     http.NewServeMux(),
+		sweeps:  newFlightGroup(),
+		calls:   newCallGroup(),
+		started: time.Now(),
+	}
+	s.mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/poa", s.handlePoA)
+	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.inflight.Add(1)
+	defer func() {
+		s.inflight.Add(-1)
+		s.served.Add(1)
+	}()
+	s.mux.ServeHTTP(w, r)
+}
+
+// httpError is a client-visible request failure.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func badRequest(format string, args ...any) *httpError {
+	return &httpError{http.StatusBadRequest, fmt.Sprintf(format, args...)}
+}
+
+func overLimit(format string, args ...any) *httpError {
+	return &httpError{http.StatusUnprocessableEntity, fmt.Sprintf(format, args...)}
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	if errors.As(err, &he) {
+		status = he.status
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// ---- request parsing ----
+
+func (s *Server) parseN(r *http.Request, trees bool) (int, error) {
+	q := r.URL.Query().Get("n")
+	if q == "" {
+		return 0, badRequest("missing n")
+	}
+	n, err := strconv.Atoi(q)
+	if err != nil || n < 1 {
+		return 0, badRequest("bad n %q", q)
+	}
+	limit := s.cfg.MaxN
+	if trees {
+		limit = s.cfg.MaxTreeN
+	}
+	if n > limit {
+		return 0, overLimit("n=%d exceeds the server limit %d", n, limit)
+	}
+	return n, nil
+}
+
+func (s *Server) parseAlphas(r *http.Request) ([]game.Alpha, error) {
+	q := r.URL.Query().Get("alphas")
+	if q == "" {
+		return nil, badRequest("missing alphas")
+	}
+	parts := strings.Split(q, ",")
+	if len(parts) > s.cfg.MaxAlphas {
+		return nil, overLimit("%d alphas exceed the server limit %d", len(parts), s.cfg.MaxAlphas)
+	}
+	alphas := make([]game.Alpha, 0, len(parts))
+	for _, p := range parts {
+		a, err := game.ParseAlpha(strings.TrimSpace(p))
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		alphas = append(alphas, a)
+	}
+	return alphas, nil
+}
+
+func parseConcepts(r *http.Request) ([]eq.Concept, error) {
+	q := r.URL.Query().Get("concepts")
+	if q == "" || q == "all" {
+		return eq.Concepts(), nil
+	}
+	var concepts []eq.Concept
+	for _, p := range strings.Split(q, ",") {
+		c, err := eq.ParseConcept(strings.TrimSpace(p))
+		if err != nil {
+			return nil, badRequest("%v", err)
+		}
+		concepts = append(concepts, c)
+	}
+	return concepts, nil
+}
+
+func boolParam(r *http.Request, name string) bool {
+	switch r.URL.Query().Get(name) {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// ---- /v1/sweep ----
+
+// The NDJSON line schemas of /v1/sweep. Every line carries "type"; graphs
+// are encoded in the plain edge-list format on the items of the first α
+// row (alpha_index 0), where each isomorphism class appears first.
+type sweepHeader struct {
+	Type     string   `json:"type"` // "header"
+	N        int      `json:"n"`
+	Source   string   `json:"source"`
+	Alphas   []string `json:"alphas"`
+	Concepts []string `json:"concepts"`
+	Rho      bool     `json:"with_rho,omitempty"`
+	Shared   bool     `json:"shared,omitempty"` // joined an in-flight computation
+}
+
+type sweepItemLine struct {
+	Type       string  `json:"type"` // "item"
+	AlphaIndex int     `json:"alpha_index"`
+	GraphIndex int     `json:"graph_index"`
+	Vector     uint16  `json:"vector"`
+	Rho        float64 `json:"rho,omitempty"`
+	FromCache  bool    `json:"from_cache,omitempty"`
+	Graph      string  `json:"graph,omitempty"`
+}
+
+type sweepSummary struct {
+	Type        string `json:"type"` // "summary"
+	Graphs      int    `json:"graphs"`
+	Completed   int    `json:"completed"`
+	Total       int    `json:"total"`
+	CacheHits   int64  `json:"cache_hits"`
+	CacheMisses int64  `json:"cache_misses"`
+	Error       string `json:"error,omitempty"`
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	trees := boolParam(r, "trees")
+	n, err := s.parseN(r, trees)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	alphas, err := s.parseAlphas(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	concepts, err := parseConcepts(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := sweep.Options{
+		N:        n,
+		Alphas:   alphas,
+		Concepts: concepts,
+		Workers:  s.cfg.Workers,
+		Cache:    s.cfg.Cache,
+		Rho:      boolParam(r, "rho"),
+	}
+	if trees {
+		opts.Source = sweep.Trees
+	}
+
+	key := sweepKey(opts)
+	joined := s.sweeps.hasFlight(key)
+	fl := s.sweeps.join(key, s.cfg.RequestTimeout, func(ctx context.Context, fl *flight) {
+		runOpts := opts
+		runOpts.OnItem = fl.publish
+		res, err := sweep.Run(ctx, runOpts)
+		fl.finish(res, err)
+	})
+	defer fl.leave()
+	stop := fl.watch(r.Context())
+	defer stop()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	header := sweepHeader{
+		Type:     "header",
+		N:        n,
+		Source:   opts.Source.String(),
+		Alphas:   alphaStrings(alphas),
+		Concepts: conceptStrings(concepts),
+		Rho:      opts.Rho,
+		Shared:   joined,
+	}
+	if enc.Encode(header) != nil {
+		return
+	}
+	flush()
+
+	for i := 0; ; i++ {
+		it, ok := fl.next(r.Context(), i)
+		if !ok {
+			break
+		}
+		line := sweepItemLine{
+			Type:       "item",
+			AlphaIndex: it.AlphaIndex,
+			GraphIndex: it.GraphIndex,
+			Vector:     uint16(it.Vector),
+			Rho:        it.Rho,
+			FromCache:  it.FromCache,
+		}
+		if it.AlphaIndex == 0 {
+			line.Graph = graph.Encode(it.Graph)
+		}
+		if enc.Encode(line) != nil {
+			return // client gone; leave() detaches us
+		}
+		flush()
+	}
+	if r.Context().Err() != nil {
+		return
+	}
+	res, runErr := fl.outcome()
+	summary := sweepSummary{Type: "summary"}
+	if res != nil {
+		summary.Graphs = res.Graphs
+		summary.Completed = res.Completed
+		summary.Total = len(res.Items)
+		summary.CacheHits = res.Hits
+		summary.CacheMisses = res.Misses
+	}
+	if runErr != nil {
+		summary.Error = runErr.Error()
+	}
+	enc.Encode(summary)
+	flush()
+}
+
+// sweepKey normalizes a sweep request for singleflight deduplication. The
+// exact reduced α strings and concept names make syntactically different
+// but semantically equal grids ("2/4" vs "1/2") share one flight.
+func sweepKey(opts sweep.Options) string {
+	return fmt.Sprintf("n=%d src=%s rho=%t a=%s c=%s",
+		opts.N, opts.Source, opts.Rho,
+		strings.Join(alphaStrings(opts.Alphas), ","),
+		strings.Join(conceptStrings(opts.Concepts), ","))
+}
+
+func alphaStrings(alphas []game.Alpha) []string {
+	out := make([]string, len(alphas))
+	for i, a := range alphas {
+		out[i] = a.String()
+	}
+	return out
+}
+
+func conceptStrings(concepts []eq.Concept) []string {
+	out := make([]string, len(concepts))
+	for i, c := range concepts {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// ---- /v1/poa ----
+
+type poaResponse struct {
+	N          int     `json:"n"`
+	Alpha      string  `json:"alpha"`
+	Concept    string  `json:"concept"`
+	Rho        float64 `json:"rho"`
+	Witness    string  `json:"witness,omitempty"`
+	Equilibria int     `json:"equilibria"`
+	Candidates int     `json:"candidates"`
+	Partial    bool    `json:"partial"`
+	Shared     bool    `json:"shared,omitempty"`
+}
+
+func (s *Server) handlePoA(w http.ResponseWriter, r *http.Request) {
+	graphs := boolParam(r, "graphs")
+	n, err := s.parseN(r, !graphs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	alpha, err := game.ParseAlpha(r.URL.Query().Get("alpha"))
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	concept, err := eq.ParseConcept(r.URL.Query().Get("concept"))
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	key := fmt.Sprintf("poa n=%d a=%s c=%s graphs=%t", n, alpha, concept, graphs)
+	val, runErr, shared := s.calls.Do(r.Context(), key, s.cfg.RequestTimeout, func(ctx context.Context) (any, error) {
+		if graphs {
+			res, err := core.WorstGraph(ctx, n, alpha, concept)
+			return res, err
+		}
+		res, err := core.WorstTree(ctx, n, alpha, concept)
+		return res, err
+	})
+	if val == nil {
+		writeError(w, runErr)
+		return
+	}
+	res := val.(core.PoAResult)
+	resp := poaResponse{
+		N:          n,
+		Alpha:      alpha.String(),
+		Concept:    concept.String(),
+		Rho:        res.Rho,
+		Equilibria: res.Equilibria,
+		Candidates: res.Candidates,
+		Partial:    runErr != nil,
+		Shared:     shared,
+	}
+	if res.Witness != nil {
+		resp.Witness = graph.Encode(res.Witness)
+	}
+	writeJSON(w, resp)
+}
+
+// ---- /v1/check ----
+
+type checkVerdict struct {
+	Concept   string `json:"concept"`
+	Stable    bool   `json:"stable"`
+	Witness   string `json:"witness,omitempty"`
+	FromCache bool   `json:"from_cache,omitempty"`
+}
+
+type checkResponse struct {
+	N       int            `json:"n"`
+	Alpha   string         `json:"alpha"`
+	Results []checkVerdict `json:"results"`
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	alpha, err := game.ParseAlpha(r.URL.Query().Get("alpha"))
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	concepts := eq.Concepts()
+	if q := r.URL.Query().Get("concept"); q != "" {
+		c, err := eq.ParseConcept(q)
+		if err != nil {
+			writeError(w, badRequest("%v", err))
+			return
+		}
+		concepts = []eq.Concept{c}
+	}
+	wantWitness := boolParam(r, "witness")
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeError(w, badRequest("reading body: %v", err))
+		return
+	}
+	g, err := graph.Decode(string(body))
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	if g.N() > s.cfg.MaxCheckN {
+		writeError(w, overLimit("graph on %d nodes exceeds the server limit %d", g.N(), s.cfg.MaxCheckN))
+		return
+	}
+	gm, err := game.NewGame(g.N(), alpha)
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	// One canonical key serves every concept; uploaded graphs use
+	// CanonicalKey (tree sweeps cache under FreeTreeKey, a disjoint
+	// alphabet, so tree-sweep verdicts are recomputed here — soundly).
+	canon := g.CanonicalKey()
+	resp := checkResponse{N: g.N(), Alpha: alpha.String()}
+	ev := eq.NewEvaluator()
+	for _, concept := range concepts {
+		if r.Context().Err() != nil {
+			writeError(w, r.Context().Err())
+			return
+		}
+		key := sweep.Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den(), Concept: concept}
+		v := checkVerdict{Concept: concept.String()}
+		if stable, ok := s.cfg.Cache.Get(key); ok && !(wantWitness && !stable) {
+			v.Stable, v.FromCache = stable, true
+		} else {
+			// Checkers mutate the graph under test; evaluate a clone.
+			res := ev.Check(gm, g.Clone(), concept)
+			v.Stable = res.Stable
+			if !res.Stable && res.Witness != nil {
+				v.Witness = fmt.Sprint(res.Witness)
+			}
+			s.cfg.Cache.Put(key, res.Stable)
+		}
+		resp.Results = append(resp.Results, v)
+	}
+	writeJSON(w, resp)
+}
+
+// ---- /healthz ----
+
+type healthz struct {
+	Status        string           `json:"status"`
+	UptimeSeconds int64            `json:"uptime_seconds"`
+	Inflight      int64            `json:"requests_inflight"`
+	Served        int64            `json:"requests_served"`
+	SweepsLive    int              `json:"sweeps_inflight"`
+	SweepsStarted int64            `json:"sweeps_started"`
+	Cache         sweep.CacheStats `json:"cache"`
+	Store         *store.Stats     `json:"store,omitempty"`
+	Limits        map[string]int   `json:"limits"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	h := healthz{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.started).Seconds()),
+		Inflight:      s.inflight.Load(),
+		Served:        s.served.Load(),
+		SweepsLive:    s.sweeps.live(),
+		SweepsStarted: s.sweeps.startedCount(),
+		Cache:         s.cfg.Cache.Stats(),
+		Limits: map[string]int{
+			"max_n":           s.cfg.MaxN,
+			"max_tree_n":      s.cfg.MaxTreeN,
+			"max_alphas":      s.cfg.MaxAlphas,
+			"max_check_n":     s.cfg.MaxCheckN,
+			"request_timeout": int(s.cfg.RequestTimeout.Seconds()),
+		},
+	}
+	if s.cfg.Store != nil {
+		st := s.cfg.Store.Stats()
+		h.Store = &st
+	}
+	writeJSON(w, h)
+}

@@ -1,0 +1,67 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// The checkpoint is a small JSON document riding alongside the segments —
+// the resumable-sweep machinery saves its grid spec and progress here so
+// an interrupted `bncg sweep -store … ` can be continued with `-resume`.
+// Writes are atomic (temp file + fsync + rename), so a crash never leaves
+// a half-written checkpoint: either the previous one or the new one is
+// read back.
+
+const checkpointFile = "checkpoint.json"
+
+// SaveCheckpoint atomically replaces the store's checkpoint with the JSON
+// encoding of v.
+func (s *Store) SaveCheckpoint(v any) error {
+	if s.opts.ReadOnly {
+		return fmt.Errorf("store: SaveCheckpoint on a read-only store")
+	}
+	data, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := filepath.Join(s.dir, checkpointFile)
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, append(data, '\n')); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	return syncDir(s.dir)
+}
+
+// LoadCheckpoint decodes the store's checkpoint into v. It returns
+// ok=false (and no error) when no checkpoint exists.
+func (s *Store) LoadCheckpoint(v any) (ok bool, err error) {
+	data, err := os.ReadFile(filepath.Join(s.dir, checkpointFile))
+	if os.IsNotExist(err) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// ClearCheckpoint removes the checkpoint, marking the checkpointed work
+// complete. Clearing an absent checkpoint is a no-op.
+func (s *Store) ClearCheckpoint() error {
+	if s.opts.ReadOnly {
+		return fmt.Errorf("store: ClearCheckpoint on a read-only store")
+	}
+	err := os.Remove(filepath.Join(s.dir, checkpointFile))
+	if err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package store
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRecordRoundTrip: every valid record survives encode → frame →
+// decode byte-identically, and the decoder never panics or accepts a
+// record Validate would refuse.
+func FuzzRecordRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1, 1}, int64(1), int64(1), uint8(1), true)
+	f.Add([]byte("((()))"), int64(9), int64(2), uint8(9), false)
+	f.Add(bytes.Repeat([]byte{0}, 512), int64(1<<40), int64(3), uint8(16), true)
+	f.Fuzz(func(t *testing.T, canon []byte, num, den int64, concept uint8, stable bool) {
+		rec := Record{Canon: string(canon), Num: num, Den: den, Concept: concept, Stable: stable}
+		if rec.Validate() != nil {
+			return
+		}
+		frame := encodeFrame(rec)
+		n, got, ok := decodeFrame(frame)
+		if !ok {
+			t.Fatalf("freshly encoded frame did not decode: %+v", rec)
+		}
+		if n != len(frame) {
+			t.Fatalf("frame size %d, decoded %d", len(frame), n)
+		}
+		if got != rec {
+			t.Fatalf("round trip changed the record: %+v -> %+v", rec, got)
+		}
+		// A frame concatenation decodes records one by one.
+		double := append(append([]byte{}, frame...), frame...)
+		if n2, _, ok := decodeFrame(double); !ok || n2 != len(frame) {
+			t.Fatalf("concatenated frames misparsed: ok=%v n=%d", ok, n2)
+		}
+	})
+}
+
+// FuzzDecodeFrame: arbitrary bytes never panic the frame decoder, and
+// anything it accepts re-encodes to the identical frame prefix (no
+// malleability: one record, one encoding).
+func FuzzDecodeFrame(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add(encodeFrame(Record{Canon: "x", Num: 1, Den: 2, Concept: 3, Stable: true}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n, rec, ok := decodeFrame(data)
+		if !ok {
+			return
+		}
+		if err := rec.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid record: %v", err)
+		}
+		if n <= 0 || n > len(data) {
+			t.Fatalf("decoded frame size %d out of range", n)
+		}
+		if !bytes.Equal(encodeFrame(rec), data[:n]) {
+			t.Fatalf("re-encoding %+v differs from the accepted frame", rec)
+		}
+	})
+}

@@ -1,0 +1,114 @@
+package store
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Record is one persisted stability verdict: the canonical form of the
+// graph, the exact reduced edge price num/den, the solution concept (as
+// its small positive enum value), and the verdict bit. The store is
+// deliberately decoupled from package eq — Concept is an opaque uint8
+// here, mapped back by the sweep-cache bridge.
+type Record struct {
+	Canon    string
+	Num, Den int64
+	Concept  uint8
+	Stable   bool
+}
+
+// Key identifies a record; two records with equal keys must agree on
+// Stable.
+type Key struct {
+	Canon    string
+	Num, Den int64
+	Concept  uint8
+}
+
+// Key returns r's identity.
+func (r Record) Key() Key {
+	return Key{Canon: r.Canon, Num: r.Num, Den: r.Den, Concept: r.Concept}
+}
+
+func (k Key) less(o Key) bool {
+	if k.Canon != o.Canon {
+		return k.Canon < o.Canon
+	}
+	if k.Num != o.Num {
+		return k.Num < o.Num
+	}
+	if k.Den != o.Den {
+		return k.Den < o.Den
+	}
+	return k.Concept < o.Concept
+}
+
+// Validate reports whether r can be encoded: a non-empty canonical key
+// that fits a frame, a canonical non-negative reduced price, and a
+// non-zero concept.
+func (r Record) Validate() error {
+	if r.Canon == "" {
+		return fmt.Errorf("store: record with empty canonical key")
+	}
+	if len(r.Canon) > maxFrameBytes-32 {
+		return fmt.Errorf("store: canonical key of %d bytes exceeds the frame cap", len(r.Canon))
+	}
+	if r.Num < 0 || r.Den <= 0 {
+		return fmt.Errorf("store: record with invalid price %d/%d", r.Num, r.Den)
+	}
+	if r.Concept == 0 {
+		return fmt.Errorf("store: record with zero concept")
+	}
+	return nil
+}
+
+// encodeRecord renders the frame payload:
+//
+//	uvarint len(canon) | canon | uvarint num | uvarint den | concept | stable
+func encodeRecord(r Record) []byte {
+	buf := make([]byte, 0, binary.MaxVarintLen64*3+len(r.Canon)+2)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Canon)))
+	buf = append(buf, r.Canon...)
+	buf = binary.AppendUvarint(buf, uint64(r.Num))
+	buf = binary.AppendUvarint(buf, uint64(r.Den))
+	buf = append(buf, r.Concept)
+	if r.Stable {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return buf
+}
+
+// decodeRecord parses a frame payload. It rejects trailing garbage and
+// any record Validate would refuse, so a CRC-valid frame either decodes
+// to a well-formed record or truncates recovery at that point.
+func decodeRecord(b []byte) (Record, error) {
+	clen, n := binary.Uvarint(b)
+	if n <= 0 || clen == 0 || uint64(len(b)-n) < clen {
+		return Record{}, fmt.Errorf("store: bad canonical-key length")
+	}
+	b = b[n:]
+	rec := Record{Canon: string(b[:clen])}
+	b = b[clen:]
+	num, n := binary.Uvarint(b)
+	if n <= 0 || num > 1<<62 {
+		return Record{}, fmt.Errorf("store: bad numerator")
+	}
+	b = b[n:]
+	den, n := binary.Uvarint(b)
+	if n <= 0 || den > 1<<62 {
+		return Record{}, fmt.Errorf("store: bad denominator")
+	}
+	b = b[n:]
+	if len(b) != 2 || b[1] > 1 {
+		return Record{}, fmt.Errorf("store: bad record trailer")
+	}
+	rec.Num, rec.Den = int64(num), int64(den)
+	rec.Concept = b[0]
+	rec.Stable = b[1] == 1
+	if err := rec.Validate(); err != nil {
+		return Record{}, err
+	}
+	return rec, nil
+}

@@ -1,0 +1,608 @@
+// Package store implements a persistent, append-only verdict store: the
+// on-disk counterpart of the sweep engine's canonical-form cache.
+//
+// Stability verdicts are pure functions of (canonical form, exact α,
+// solution concept), so they never need updating — an append-only log with
+// last-write-wins replay is a complete persistence model. The store shards
+// records over a fixed set of segment files by canonical-key hash, frames
+// every record with a length prefix and a CRC32, batches fsyncs, and
+// recovers from a crash by truncating the torn tail of each segment. A
+// store opened after a crash therefore contains exactly the records whose
+// frames were fully durable, and nothing else.
+//
+// Layout of a store directory:
+//
+//	META.json   {"version":1,"shards":8}     — fixed at creation
+//	LOCK        single-writer flock(2) target (holder pid inside)
+//	seg-00.log … seg-NN.log                  — record segments
+//	checkpoint.json                          — optional resumable-sweep spec
+//
+// Each segment starts with the 8-byte magic "bncgsv1\n" followed by frames:
+//
+//	uint32 LE payload length | uint32 LE CRC32(IEEE, payload) | payload
+//
+// The payload encoding is defined in record.go. Concurrent use by multiple
+// goroutines of one process is safe; concurrent writers from different
+// processes are rejected by the lock file.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+const (
+	segMagic = "bncgsv1\n"
+	// maxFrameBytes caps a single record frame, so a corrupt length prefix
+	// cannot force a huge allocation during recovery.
+	maxFrameBytes = 1 << 20
+	frameHeader   = 8 // uint32 length + uint32 crc
+)
+
+// Options configures Open.
+type Options struct {
+	// Shards is the number of segment files records are hashed across. It
+	// is fixed at store creation (recorded in META.json) and ignored when
+	// opening an existing store. Values <= 0 select the default of 8.
+	Shards int
+	// FlushEvery bounds the number of buffered records before an automatic
+	// write+fsync. Values <= 0 select the default of 128.
+	FlushEvery int
+	// FlushInterval, when positive, starts a background flusher that syncs
+	// pending records at this period — the serving daemon's durability
+	// bound. Zero disables the ticker; records still flush on the
+	// FlushEvery threshold, Flush and Close.
+	FlushInterval time.Duration
+	// ReadOnly opens the store without the single-writer lock and without
+	// repairing torn tails, so observability commands can inspect a store
+	// a live writer holds. Put, Flush, Compact and checkpoint writes fail.
+	ReadOnly bool
+}
+
+// Stats is an observability snapshot of a store.
+type Stats struct {
+	// Records counts distinct keys currently held.
+	Records int `json:"records"`
+	// Segments is the shard count.
+	Segments int `json:"segments"`
+	// DiskBytes is the total size of the durable segment data.
+	DiskBytes int64 `json:"disk_bytes"`
+	// Pending counts records buffered but not yet flushed.
+	Pending int `json:"pending"`
+	// Appended counts records appended by this session.
+	Appended int64 `json:"appended"`
+	// RecoveredBytes counts bytes truncated from torn segment tails at
+	// Open — non-zero after recovering from a crash.
+	RecoveredBytes int64 `json:"recovered_bytes,omitempty"`
+	// DuplicateFrames counts on-disk frames superseded by a later frame
+	// for the same key, observed at Open; Compact removes them.
+	DuplicateFrames int `json:"duplicate_frames,omitempty"`
+	// FlushFailures counts failed flushes and LastFlushError holds the
+	// most recent one — non-zero means pending records are stuck in
+	// memory (e.g. a full disk) and durability is degraded. Surfaced via
+	// /healthz so the background flusher cannot fail silently.
+	FlushFailures  int64  `json:"flush_failures,omitempty"`
+	LastFlushError string `json:"last_flush_error,omitempty"`
+}
+
+type segment struct {
+	path    string
+	f       *os.File
+	size    int64  // durable bytes (including magic)
+	pending []byte // encoded frames awaiting flush
+	dirty   bool   // written since last fsync
+}
+
+// Store is an open verdict store. All methods are safe for concurrent use.
+type Store struct {
+	dir  string
+	opts Options
+
+	mu      sync.Mutex
+	segs    []*segment
+	recs    map[Key]bool
+	pending int      // buffered records across all segments
+	lock    *os.File // flock-held single-writer lock (nil when read-only)
+	stats   Stats
+	closed  bool
+
+	tick     *time.Ticker
+	tickDone chan struct{}
+}
+
+type meta struct {
+	Version int `json:"version"`
+	Shards  int `json:"shards"`
+}
+
+// Open opens (creating if necessary) the store in dir and replays every
+// durable record into memory. Torn segment tails — the signature of a
+// crash mid-append — are truncated away and reported in Stats; Open fails
+// only on I/O errors, format-version mismatches, or a live concurrent
+// writer holding the store's lock.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.Shards <= 0 {
+		opts.Shards = 8
+	}
+	if opts.Shards > 256 {
+		return nil, fmt.Errorf("store: %d shards exceed the 256 maximum", opts.Shards)
+	}
+	if opts.FlushEvery <= 0 {
+		opts.FlushEvery = 128
+	}
+	if !opts.ReadOnly {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	m, err := loadOrCreateMeta(dir, opts.Shards, opts.ReadOnly)
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		dir:  dir,
+		opts: opts,
+		recs: make(map[Key]bool),
+	}
+	if !opts.ReadOnly {
+		lock, err := acquireLock(dir)
+		if err != nil {
+			return nil, err
+		}
+		s.lock = lock
+	}
+	s.stats.Segments = m.Shards
+	for i := 0; i < m.Shards; i++ {
+		seg, err := s.openSegment(filepath.Join(dir, fmt.Sprintf("seg-%02x.log", i)))
+		if err != nil {
+			s.closeFiles()
+			s.releaseLock()
+			return nil, err
+		}
+		s.segs = append(s.segs, seg)
+	}
+	s.stats.Records = len(s.recs)
+	if opts.FlushInterval > 0 {
+		s.tick = time.NewTicker(opts.FlushInterval)
+		s.tickDone = make(chan struct{})
+		go func() {
+			for {
+				select {
+				case <-s.tick.C:
+					_ = s.Flush()
+				case <-s.tickDone:
+					return
+				}
+			}
+		}()
+	}
+	return s, nil
+}
+
+func loadOrCreateMeta(dir string, shards int, readOnly bool) (meta, error) {
+	path := filepath.Join(dir, "META.json")
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if readOnly {
+			return meta{}, fmt.Errorf("store: no store in %s", dir)
+		}
+		m := meta{Version: 1, Shards: shards}
+		enc, _ := json.Marshal(m)
+		return m, writeFileSync(path, append(enc, '\n'))
+	}
+	if err != nil {
+		return meta{}, err
+	}
+	var m meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		return meta{}, fmt.Errorf("store: corrupt META.json: %w", err)
+	}
+	if m.Version != 1 {
+		return meta{}, fmt.Errorf("store: unsupported format version %d", m.Version)
+	}
+	if m.Shards < 1 || m.Shards > 256 {
+		return meta{}, fmt.Errorf("store: META.json declares %d shards", m.Shards)
+	}
+	return m, nil
+}
+
+// acquireLock takes the single-writer lock: an flock(2) on the LOCK
+// file, held open for the store's lifetime. The kernel owns the lock, so
+// a crashed writer's lock evaporates with its process — no stale-lock
+// heuristics and no steal race. The pid written into the file is for
+// operators only.
+func acquireLock(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "LOCK")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		holder, _ := os.ReadFile(path)
+		f.Close()
+		return nil, fmt.Errorf("store: %s locked by live pid %s", dir, strings.TrimSpace(string(holder)))
+	}
+	_ = f.Truncate(0)
+	_, _ = f.WriteAt([]byte(fmt.Sprintf("%d\n", os.Getpid())), 0)
+	return f, nil
+}
+
+// openSegment opens one shard file, replays its records into s.recs, and
+// truncates any torn tail so the file ends on a frame boundary (under
+// Options.ReadOnly the tail is only reported, never repaired, and no
+// write handle is opened).
+func (s *Store) openSegment(path string) (*segment, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		if s.opts.ReadOnly {
+			return &segment{path: path}, nil
+		}
+		if err := writeFileSync(path, []byte(segMagic)); err != nil {
+			return nil, err
+		}
+		data = []byte(segMagic)
+	} else if err != nil {
+		return nil, err
+	}
+	valid := 0
+	if len(data) >= len(segMagic) && string(data[:len(segMagic)]) == segMagic {
+		valid = len(segMagic)
+		for valid < len(data) {
+			n, rec, ok := decodeFrame(data[valid:])
+			if !ok {
+				break
+			}
+			if prev, seen := s.recs[rec.Key()]; seen {
+				if prev != rec.Stable {
+					// Two durable frames disagree on a pure function of
+					// the key. Put refuses to write this state, so it is
+					// corruption (or a buggy writer); refuse to serve
+					// wrong verdicts from it.
+					return nil, fmt.Errorf("store: %s: conflicting persisted verdicts for %v", path, rec.Key())
+				}
+				s.stats.DuplicateFrames++
+			}
+			s.recs[rec.Key()] = rec.Stable
+			valid += n
+		}
+	} else if len(data) > 0 && len(data) < len(segMagic) && segMagic[:len(data)] == string(data) {
+		// Torn write of the magic itself: rewrite it whole.
+		valid = 0
+	} else if len(data) > 0 {
+		return nil, fmt.Errorf("store: %s: bad segment magic", path)
+	}
+	if valid < len(data) {
+		s.stats.RecoveredBytes += int64(len(data) - valid)
+		if s.opts.ReadOnly {
+			// Report the damage, repair nothing: a live writer may own
+			// this tail.
+			return &segment{path: path, size: int64(valid)}, nil
+		}
+		if err := os.Truncate(path, int64(valid)); err != nil {
+			return nil, err
+		}
+	}
+	if s.opts.ReadOnly {
+		return &segment{path: path, size: int64(valid)}, nil
+	}
+	if valid == 0 {
+		if err := writeFileSync(path, []byte(segMagic)); err != nil {
+			return nil, err
+		}
+		valid = len(segMagic)
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &segment{path: path, f: f, size: int64(valid)}, nil
+}
+
+// decodeFrame decodes one frame from the head of b, returning the frame
+// size and record. ok is false on a short, oversized, CRC-failing or
+// undecodable frame — the truncation point during recovery.
+func decodeFrame(b []byte) (n int, rec Record, ok bool) {
+	if len(b) < frameHeader {
+		return 0, Record{}, false
+	}
+	// Bounds-check the untrusted length as uint64: a corrupt prefix must
+	// not wrap negative through int on 32-bit platforms.
+	plen64 := uint64(binary.LittleEndian.Uint32(b))
+	if plen64 == 0 || plen64 > maxFrameBytes || plen64 > uint64(len(b)-frameHeader) {
+		return 0, Record{}, false
+	}
+	plen := int(plen64)
+	payload := b[frameHeader : frameHeader+plen]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:]) {
+		return 0, Record{}, false
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		return 0, Record{}, false
+	}
+	return frameHeader + plen, rec, true
+}
+
+func encodeFrame(rec Record) []byte {
+	payload := encodeRecord(rec)
+	buf := make([]byte, frameHeader, frameHeader+len(payload))
+	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
+	return append(buf, payload...)
+}
+
+// shardIndex is the single definition of the shard-assignment rule; the
+// append path and Compact must agree on it or compaction would move
+// records between segments.
+func (s *Store) shardIndex(canon string) int {
+	h := fnv.New32a()
+	h.Write([]byte(canon))
+	return int(h.Sum32()) % len(s.segs)
+}
+
+func (s *Store) shardOf(canon string) *segment { return s.segs[s.shardIndex(canon)] }
+
+// Put appends a record. A Put of an already-held key with the same verdict
+// is a no-op; a conflicting verdict for a held key is rejected — verdicts
+// are pure functions of their key, so a conflict means a corrupted store
+// or a buggy writer, never legitimate data.
+func (s *Store) Put(rec Record) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed || s.opts.ReadOnly {
+		s.mu.Unlock()
+		return fmt.Errorf("store: Put on a closed or read-only store")
+	}
+	if prev, ok := s.recs[rec.Key()]; ok {
+		s.mu.Unlock()
+		if prev != rec.Stable {
+			return fmt.Errorf("store: conflicting verdict for %v", rec.Key())
+		}
+		return nil
+	}
+	s.recs[rec.Key()] = rec.Stable
+	s.stats.Appended++
+	seg := s.shardOf(rec.Canon)
+	seg.pending = append(seg.pending, encodeFrame(rec)...)
+	s.pending++
+	flushNow := s.pending >= s.opts.FlushEvery
+	if !flushNow {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.flushLocked()
+	s.mu.Unlock()
+	return err
+}
+
+// Flush writes and fsyncs every pending record. After a successful Flush
+// the records survive a crash of process and machine.
+func (s *Store) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	return s.flushLocked()
+}
+
+func (s *Store) flushLocked() error {
+	err := s.writePendingLocked()
+	if err != nil {
+		s.stats.FlushFailures++
+		s.stats.LastFlushError = err.Error()
+	}
+	return err
+}
+
+func (s *Store) writePendingLocked() error {
+	for _, seg := range s.segs {
+		if len(seg.pending) == 0 {
+			continue
+		}
+		if _, err := seg.f.Write(seg.pending); err != nil {
+			// Roll a short write back to the last frame boundary: the
+			// pending buffer is retained for retry, and without the
+			// truncate a retry would append full frames after the torn
+			// one — recovery would then silently drop them all.
+			_ = seg.f.Truncate(seg.size)
+			return err
+		}
+		seg.size += int64(len(seg.pending))
+		s.pending -= countFrames(seg.pending)
+		seg.pending = seg.pending[:0]
+		seg.dirty = true
+	}
+	for _, seg := range s.segs {
+		if !seg.dirty {
+			continue
+		}
+		if err := seg.f.Sync(); err != nil {
+			return err
+		}
+		seg.dirty = false
+	}
+	return nil
+}
+
+func countFrames(b []byte) int {
+	n := 0
+	for len(b) >= frameHeader {
+		plen := int(binary.LittleEndian.Uint32(b))
+		b = b[frameHeader+plen:]
+		n++
+	}
+	return n
+}
+
+// Get returns the persisted verdict for k, if present.
+func (s *Store) Get(k Key) (stable, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stable, ok = s.recs[k]
+	return stable, ok
+}
+
+// Len returns the number of distinct keys held.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.recs)
+}
+
+// Range calls f for every record (pending and durable alike) until f
+// returns false. Iteration order is unspecified. The store's lock is not
+// held during calls to f.
+func (s *Store) Range(f func(Record) bool) {
+	s.mu.Lock()
+	recs := make([]Record, 0, len(s.recs))
+	for k, stable := range s.recs {
+		recs = append(recs, Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Stable: stable})
+	}
+	s.mu.Unlock()
+	for _, rec := range recs {
+		if !f(rec) {
+			return
+		}
+	}
+}
+
+// Stats returns an observability snapshot.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Records = len(s.recs)
+	st.Pending = s.pending
+	st.DiskBytes = 0
+	for _, seg := range s.segs {
+		st.DiskBytes += seg.size
+	}
+	return st
+}
+
+// Compact rewrites every segment from the in-memory record set in
+// deterministic key order, dropping duplicate and superseded frames and
+// reclaiming the space of truncated tails. Each segment is rebuilt in a
+// temporary file, fsynced, and atomically renamed into place.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.opts.ReadOnly {
+		return fmt.Errorf("store: Compact on a closed or read-only store")
+	}
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	keys := make([]Key, 0, len(s.recs))
+	for k := range s.recs {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	bufs := make([][]byte, len(s.segs))
+	for i := range bufs {
+		bufs[i] = []byte(segMagic)
+	}
+	for _, k := range keys {
+		rec := Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Stable: s.recs[k]}
+		bufs[s.shardIndex(k.Canon)] = append(bufs[s.shardIndex(k.Canon)], encodeFrame(rec)...)
+	}
+	for i, seg := range s.segs {
+		tmp := seg.path + ".tmp"
+		if err := writeFileSync(tmp, bufs[i]); err != nil {
+			return err
+		}
+		if err := seg.f.Close(); err != nil {
+			return err
+		}
+		if err := os.Rename(tmp, seg.path); err != nil {
+			return err
+		}
+		f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		seg.f, seg.size, seg.dirty = f, int64(len(bufs[i])), false
+	}
+	s.stats.DuplicateFrames = 0
+	return syncDir(s.dir)
+}
+
+// Close flushes pending records, fsyncs, releases the lock and closes the
+// store. Further Puts fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.flushLocked()
+	s.closed = true
+	tick, tickDone := s.tick, s.tickDone
+	s.mu.Unlock()
+	if tick != nil {
+		tick.Stop()
+		close(tickDone)
+	}
+	s.closeFiles()
+	s.releaseLock()
+	return err
+}
+
+// releaseLock drops the flock by closing its file descriptor. The LOCK
+// file itself stays behind (removing it would race a waiter holding the
+// old inode open).
+func (s *Store) releaseLock() {
+	if s.lock != nil {
+		_ = s.lock.Close()
+		s.lock = nil
+	}
+}
+
+func (s *Store) closeFiles() {
+	for _, seg := range s.segs {
+		if seg.f != nil {
+			_ = seg.f.Close()
+		}
+	}
+}
+
+// writeFileSync writes data to path and fsyncs the file, so the content is
+// durable before the caller proceeds.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	// Directory fsync is best-effort: some filesystems refuse it.
+	_ = d.Sync()
+	return d.Close()
+}

@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/eq"
 	"repro/internal/game"
@@ -22,11 +23,25 @@ type Key struct {
 	Concept  eq.Concept
 }
 
+// CacheStats is an observability snapshot of a Cache.
+type CacheStats struct {
+	// Entries counts the memoized verdicts.
+	Entries int `json:"entries"`
+	// Hits and Misses count lookups served from memory and lookups that
+	// fell through to a checker, across the cache's lifetime (surviving
+	// individual sweeps, unlike Result.Hits/Misses which cover one run).
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+}
+
 // Cache memoizes per-concept stability verdicts across sweeps. It is safe
 // for concurrent use by any number of sweep workers.
 type Cache struct {
-	mu sync.RWMutex
-	m  map[Key]bool
+	mu   sync.RWMutex
+	m    map[Key]bool
+	sink func(Key, bool)
+
+	hits, misses atomic.Int64
 }
 
 // NewCache returns an empty cache.
@@ -34,26 +49,51 @@ func NewCache() *Cache {
 	return &Cache{m: make(map[Key]bool)}
 }
 
-var shared = NewCache()
+var shared atomic.Pointer[Cache]
+
+func init() { shared.Store(NewCache()) }
 
 // Shared returns the process-wide cache used by the experiment runners and
 // the PoA searches, so repeated gadgets and overlapping α grids across
 // experiments reuse verdicts instead of re-running coalition search.
-func Shared() *Cache { return shared }
+func Shared() *Cache { return shared.Load() }
 
-// Get returns the memoized verdict for k, if present.
+// ResetShared replaces the process-wide cache with a fresh empty one and
+// returns it. Runs already holding the previous cache keep using it
+// unaffected. ResetShared exists for tests: assertions about hit and miss
+// counts are otherwise coupled to every sweep any earlier test ran through
+// Shared().
+func ResetShared() *Cache {
+	c := NewCache()
+	shared.Store(c)
+	return c
+}
+
+// Get returns the memoized verdict for k, if present, counting the lookup
+// in Stats.
 func (c *Cache) Get(k Key) (stable, ok bool) {
 	c.mu.RLock()
 	stable, ok = c.m[k]
 	c.mu.RUnlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
 	return stable, ok
 }
 
-// Put memoizes a verdict.
+// Put memoizes a verdict (and forwards it to the persistence sink, when
+// one is attached).
 func (c *Cache) Put(k Key, stable bool) {
 	c.mu.Lock()
+	_, seen := c.m[k]
 	c.m[k] = stable
+	sink := c.sink
 	c.mu.Unlock()
+	if !seen && sink != nil {
+		sink(k, stable)
+	}
 }
 
 // Len returns the number of memoized verdicts.
@@ -63,13 +103,41 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
+// Stats returns the entry count and lifetime hit/miss counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Entries: c.Len(),
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+	}
+}
+
+// Range calls f for every memoized verdict until f returns false, without
+// holding the cache lock during calls. Iteration order is unspecified.
+func (c *Cache) Range(f func(Key, bool) bool) {
+	c.mu.RLock()
+	type entry struct {
+		k      Key
+		stable bool
+	}
+	entries := make([]entry, 0, len(c.m))
+	for k, stable := range c.m {
+		entries = append(entries, entry{k, stable})
+	}
+	c.mu.RUnlock()
+	for _, e := range entries {
+		if !f(e.k, e.stable) {
+			return
+		}
+	}
+}
+
 // lookup fetches the verdicts for every concept under one read lock. It
 // returns the stable bits of the cached concepts and the mask of concepts
 // that still need computing.
 func (c *Cache) lookup(canon string, alpha game.Alpha, concepts []eq.Concept) (vec, missing Vector) {
 	k := Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den()}
 	c.mu.RLock()
-	defer c.mu.RUnlock()
 	for i, concept := range concepts {
 		k.Concept = concept
 		stable, ok := c.m[k]
@@ -81,19 +149,44 @@ func (c *Cache) lookup(canon string, alpha game.Alpha, concepts []eq.Concept) (v
 			vec |= 1 << i
 		}
 	}
+	c.mu.RUnlock()
+	c.hits.Add(int64(popcount16((Vector(1)<<len(concepts) - 1) &^ missing)))
+	c.misses.Add(int64(popcount16(missing)))
 	return vec, missing
 }
 
-// store memoizes the verdicts selected by mask under one write lock.
+// store memoizes the verdicts selected by mask under one write lock and
+// forwards the genuinely new ones to the persistence sink.
 func (c *Cache) store(canon string, alpha game.Alpha, concepts []eq.Concept, mask, vec Vector) {
 	k := Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den()}
+	type fresh struct {
+		k      Key
+		stable bool
+	}
+	var emit []fresh
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	sink := c.sink
 	for i, concept := range concepts {
 		if mask&(1<<i) == 0 {
 			continue
 		}
 		k.Concept = concept
-		c.m[k] = vec&(1<<i) != 0
+		stable := vec&(1<<i) != 0
+		if _, seen := c.m[k]; !seen && sink != nil {
+			emit = append(emit, fresh{k, stable})
+		}
+		c.m[k] = stable
 	}
+	c.mu.Unlock()
+	for _, e := range emit {
+		sink(e.k, e.stable)
+	}
+}
+
+// insert adds a verdict without touching the sink or the counters — the
+// warm-start path, where the entries come from the sink's own backing.
+func (c *Cache) insert(k Key, stable bool) {
+	c.mu.Lock()
+	c.m[k] = stable
+	c.mu.Unlock()
 }

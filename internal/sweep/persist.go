@@ -1,0 +1,118 @@
+package sweep
+
+import (
+	"fmt"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/store"
+)
+
+// This file bridges the in-memory verdict cache to the on-disk store of
+// repro/internal/store: WarmStart replays persisted verdicts into a cache
+// at open, Persist registers the store as the cache's write-behind sink,
+// and Checkpoint round-trips a sweep's grid spec through the store so an
+// interrupted run can be resumed.
+
+// WarmStart loads every verdict persisted in st into c and returns the
+// number of records loaded. Loaded entries do not re-enter the store when
+// Persist is also attached, and they count neither as hits nor misses.
+func (c *Cache) WarmStart(st *store.Store) int {
+	n := 0
+	st.Range(func(r store.Record) bool {
+		c.insert(Key{Canon: r.Canon, Num: r.Num, Den: r.Den, Concept: eq.Concept(r.Concept)}, r.Stable)
+		n++
+		return true
+	})
+	return n
+}
+
+// Persist registers st as c's write-behind sink: every verdict newly
+// computed into the cache — by sweeps, PoA searches, or direct Puts — is
+// appended to the store, which batches and fsyncs on its own schedule.
+// Call WarmStart first; entries already persisted are never re-appended
+// because the cache forwards only keys it had not seen. Persist(nil)
+// detaches the sink.
+func (c *Cache) Persist(st *store.Store) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if st == nil {
+		c.sink = nil
+		return
+	}
+	c.sink = func(k Key, stable bool) {
+		// Put can only fail on I/O or a conflicting verdict; the cache has
+		// no error channel, so persistence degrades to best-effort and the
+		// authoritative copy stays in memory.
+		_ = st.Put(store.Record{
+			Canon:   k.Canon,
+			Num:     k.Num,
+			Den:     k.Den,
+			Concept: uint8(k.Concept),
+			Stable:  stable,
+		})
+	}
+}
+
+// Checkpoint is the durable description of a sweep grid plus its progress,
+// saved alongside the verdict segments (store.SaveCheckpoint) so `bncg
+// sweep -resume` can rebuild the exact Options of an interrupted run. The
+// α and concept grids are stored as their exact string forms.
+type Checkpoint struct {
+	N         int      `json:"n"`
+	Source    string   `json:"source"`
+	Alphas    []string `json:"alphas"`
+	Concepts  []string `json:"concepts"`
+	Rho       bool     `json:"rho"`
+	Total     int      `json:"total"`
+	Completed int      `json:"completed"`
+}
+
+// NewCheckpoint captures the grid of opts with completed of total tasks
+// done.
+func NewCheckpoint(opts Options, total, completed int) Checkpoint {
+	cp := Checkpoint{
+		N:         opts.N,
+		Source:    opts.Source.String(),
+		Rho:       opts.Rho,
+		Total:     total,
+		Completed: completed,
+	}
+	for _, a := range opts.Alphas {
+		cp.Alphas = append(cp.Alphas, a.String())
+	}
+	for _, c := range opts.Concepts {
+		cp.Concepts = append(cp.Concepts, c.String())
+	}
+	return cp
+}
+
+// Options rebuilds the sweep options the checkpoint describes. Worker
+// count, cache and hooks are execution details, not grid spec, and are
+// left zero for the caller to fill in.
+func (cp Checkpoint) Options() (Options, error) {
+	opts := Options{N: cp.N, Rho: cp.Rho}
+	switch cp.Source {
+	case Graphs.String():
+		opts.Source = Graphs
+	case Trees.String():
+		opts.Source = Trees
+	default:
+		return Options{}, fmt.Errorf("sweep: checkpoint with unknown source %q", cp.Source)
+	}
+	for _, s := range cp.Alphas {
+		a, err := game.ParseAlpha(s)
+		if err != nil {
+			return Options{}, fmt.Errorf("sweep: checkpoint alpha: %w", err)
+		}
+		opts.Alphas = append(opts.Alphas, a)
+	}
+	for _, s := range cp.Concepts {
+		c, err := eq.ParseConcept(s)
+		if err != nil {
+			return Options{}, fmt.Errorf("sweep: checkpoint concept: %w", err)
+		}
+		opts.Concepts = append(opts.Concepts, c)
+	}
+	return opts, nil
+}

@@ -1,0 +1,125 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/store"
+)
+
+// TestCachePersistRoundTrip: a sweep against a store-backed cache persists
+// every computed verdict; a cold process (fresh cache warm-started from
+// the reopened store) replays the identical sweep with zero misses and an
+// observationally identical result.
+func TestCachePersistRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewCache()
+	cache.Persist(st)
+	cold := mustRun(t, latticeOptions(4, 4, cache))
+	if cold.Misses == 0 {
+		t.Fatal("cold sweep computed nothing")
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	if got, want := st2.Len(), cache.Len(); got != want {
+		t.Fatalf("store persisted %d verdicts, cache holds %d", got, want)
+	}
+	fresh := NewCache()
+	if loaded := fresh.WarmStart(st2); loaded != st2.Len() {
+		t.Fatalf("warm-started %d of %d verdicts", loaded, st2.Len())
+	}
+	fresh.Persist(st2)
+	warm := mustRun(t, latticeOptions(4, 4, fresh))
+	if warm.Misses != 0 {
+		t.Fatalf("warm-started sweep recomputed %d verdicts", warm.Misses)
+	}
+	if warm.Hits != int64(len(warm.Items)*len(warm.Concepts)) {
+		t.Fatalf("warm-started sweep: %d hits, want all %d", warm.Hits, len(warm.Items)*len(warm.Concepts))
+	}
+	sameOutcome(t, cold, warm)
+	// Replaying persisted verdicts must not re-append them.
+	if appended := st2.Stats().Appended; appended != 0 {
+		t.Fatalf("warm replay re-appended %d records", appended)
+	}
+}
+
+// TestCacheStatsCounters: Stats counts entries and lifetime hits/misses
+// across sweeps (unlike the per-run Result counters).
+func TestCacheStatsCounters(t *testing.T) {
+	cache := NewCache()
+	cold := mustRun(t, latticeOptions(4, 2, cache))
+	warm := mustRun(t, latticeOptions(4, 2, cache))
+	st := cache.Stats()
+	if st.Entries != cache.Len() {
+		t.Fatalf("Stats.Entries = %d, Len = %d", st.Entries, cache.Len())
+	}
+	if st.Hits != cold.Hits+warm.Hits || st.Misses != cold.Misses+warm.Misses {
+		t.Fatalf("lifetime counters (%d, %d) don't sum the runs (%d+%d, %d+%d)",
+			st.Hits, st.Misses, cold.Hits, warm.Hits, cold.Misses, warm.Misses)
+	}
+	if st.Misses == 0 || st.Hits == 0 {
+		t.Fatalf("expected both hits and misses, got %+v", st)
+	}
+}
+
+// TestResetShared: the shared cache is swappable so tests can decouple
+// their hit/miss assertions from whatever ran before.
+func TestResetShared(t *testing.T) {
+	old := Shared()
+	old.Put(Key{Canon: "marker", Num: 1, Den: 1, Concept: eq.PS}, true)
+	fresh := ResetShared()
+	if fresh == old {
+		t.Fatal("ResetShared returned the old cache")
+	}
+	if Shared() != fresh {
+		t.Fatal("Shared() does not observe the reset")
+	}
+	if fresh.Len() != 0 {
+		t.Fatalf("fresh shared cache holds %d entries", fresh.Len())
+	}
+	if _, ok := old.Get(Key{Canon: "marker", Num: 1, Den: 1, Concept: eq.PS}); !ok {
+		t.Fatal("reset destroyed the old cache for in-flight holders")
+	}
+}
+
+// TestCheckpointOptionsRoundTrip: a checkpoint rebuilds the exact grid
+// spec, including fractional α values and every concept name.
+func TestCheckpointOptionsRoundTrip(t *testing.T) {
+	opts := Options{
+		N:        6,
+		Alphas:   []game.Alpha{game.AFrac(1, 2), game.A(2), game.AFrac(9, 2)},
+		Concepts: eq.Concepts(),
+		Source:   Trees,
+		Rho:      true,
+	}
+	cp := NewCheckpoint(opts, 42, 17)
+	if cp.Total != 42 || cp.Completed != 17 {
+		t.Fatalf("checkpoint progress: %+v", cp)
+	}
+	back, err := cp.Options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.Alphas, opts.Alphas) ||
+		!reflect.DeepEqual(back.Concepts, opts.Concepts) ||
+		back.N != opts.N || back.Source != opts.Source || back.Rho != opts.Rho {
+		t.Fatalf("round trip changed the grid: %+v vs %+v", back, opts)
+	}
+	cp.Source = "lattices"
+	if _, err := cp.Options(); err == nil {
+		t.Fatal("bad source accepted")
+	}
+}
