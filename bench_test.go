@@ -190,6 +190,36 @@ func benchSweepLattice(b *testing.B, workers int) {
 	}
 }
 
+// BenchmarkSweepEvaluatorN8 measures one bound stability scan of the seven
+// sweep-feasible concepts over C8 at α=5 — the zero-allocation bitset
+// evaluator hot path. allocs/op must stay 0; the allocation-regression
+// tests in repro/internal/eq and the CI benchmark gate both guard it.
+func BenchmarkSweepEvaluatorN8(b *testing.B) {
+	gm, err := bncg.NewGame(8, bncg.AlphaInt(5))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bncg.Cycle(8)
+	concepts := []bncg.Concept{bncg.RE, bncg.BAE, bncg.PS, bncg.BSwE, bncg.BGE, bncg.BNE, bncg.TwoBSE}
+	ev := bncg.NewEvaluator()
+	// Warm every scratch buffer with one full scan, so allocs/op is 0 even
+	// at -benchtime 1x.
+	ev.Bind(gm, g)
+	for _, c := range concepts {
+		ev.CheckBound(c)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev.Bind(gm, g)
+		for _, c := range concepts {
+			if !ev.CheckBound(c).Stable {
+				b.Fatal("C8 at α=5 should be stable for every checked concept")
+			}
+		}
+	}
+}
+
 func BenchmarkSweepLatticeN6_Workers1(b *testing.B) { benchSweepLattice(b, 1) }
 
 func BenchmarkSweepLatticeN6_WorkersNumCPU(b *testing.B) { benchSweepLattice(b, runtime.NumCPU()) }

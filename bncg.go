@@ -258,10 +258,36 @@ var (
 	// AllFreeTrees returns an iterator over the free trees on n nodes (one
 	// representative per isomorphism class), paired with canonical keys.
 	AllFreeTrees = graph.AllFreeTrees
+	// AllGraphClasses and AllFreeTreeClasses (v4) are the class-level
+	// enumerations: one representative per isomorphism class together with
+	// its canonical key and orbit size n!/|Aut|. Non-minimal labelings are
+	// skipped by early symmetry pruning rather than canonicalized and
+	// deduplicated.
+	AllGraphClasses    = graph.AllClasses
+	AllFreeTreeClasses = graph.AllFreeTreeClasses
 )
 
 // EnumOptions controls AllGraphs enumeration.
 type EnumOptions = graph.EnumOptions
+
+// GraphClass describes one isomorphism class yielded by AllGraphClasses or
+// AllFreeTreeClasses: canonical key plus orbit size.
+type GraphClass = graph.Class
+
+// Zero-allocation checking (v4).
+type (
+	// Evaluator is a reusable equilibrium evaluator: BFS scratch, baseline
+	// costs and deviation-scan buffers persist across calls, so stability
+	// checks at sweep sizes allocate nothing. Not safe for concurrent use;
+	// give each goroutine its own.
+	Evaluator = eq.Evaluator
+	// BFSScratch holds reusable traversal buffers for
+	// Graph.BFSScratchInto.
+	BFSScratch = graph.BFSScratch
+)
+
+// NewEvaluator returns an Evaluator for use by a single goroutine.
+var NewEvaluator = eq.NewEvaluator
 
 // Dynamics.
 type (

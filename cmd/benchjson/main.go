@@ -6,6 +6,7 @@
 //
 //	go test -run '^$' -bench Sweep -benchtime 1x -benchmem ./... | benchjson -out BENCH_sweep.json
 //	go test -run '^$' -bench 'Sweep|Store' -benchtime 1x -benchmem . | benchjson -append -note "PR 3" -out BENCH_sweep.json
+//	benchjson -compare old.json new.json -max-regress 25%
 //
 // With no -out the JSON is written to stdout. With -append the output file
 // becomes a trajectory: a JSON array of runs, to which the parsed run is
@@ -15,6 +16,13 @@
 // contribute only to the captured environment header (goos, goarch, pkg,
 // cpu); unparseable lines are ignored, so the tool is safe to feed the
 // full `go test` output including PASS/ok trailers.
+//
+// With -compare, benchjson reads nothing from stdin: it loads the two
+// trajectories named by its positional arguments, diffs the latest run of
+// each per benchmark (ns/op and allocs/op, matching names across machines
+// by stripping the -GOMAXPROCS suffix), prints the comparison, and exits
+// non-zero if any benchmark regressed by more than -max-regress — the CI
+// benchmark-regression gate.
 package main
 
 import (
@@ -51,7 +59,39 @@ func main() {
 	out := flag.String("out", "", "output file (default: stdout)")
 	appendRun := flag.Bool("append", false, "append the run to the trajectory (JSON array) in -out instead of overwriting")
 	note := flag.String("note", "", "free-form label recorded on the run")
+	compare := flag.Bool("compare", false, "compare the latest runs of the two trajectory files given as arguments and fail on regression")
+	maxRegress := flag.String("max-regress", "25%", "with -compare: maximum allowed ns/op and allocs/op regression (e.g. 25%)")
 	flag.Parse()
+	if *compare {
+		args := flag.Args()
+		if len(args) > 2 {
+			// Accept flags after the positional files too:
+			//   benchjson -compare old.json new.json -max-regress 25%
+			if err := flag.CommandLine.Parse(args[2:]); err != nil {
+				os.Exit(2)
+			}
+			args = append(args[:2:2], flag.Args()...)
+		}
+		if len(args) != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -compare needs exactly two trajectory files (old new)")
+			os.Exit(2)
+		}
+		threshold, err := parsePercent(*maxRegress)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		failures, err := compareTrajectories(os.Stdout, args[0], args[1], threshold)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		if failures > 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: %d benchmark(s) regressed more than %s\n", failures, *maxRegress)
+			os.Exit(1)
+		}
+		return
+	}
 	doc, err := parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
@@ -130,6 +170,127 @@ func parse(r io.Reader) (*Document, error) {
 		}
 	}
 	return doc, sc.Err()
+}
+
+// parsePercent parses a threshold like "25%" (or bare "25") into a
+// fraction (0.25). Negative thresholds are rejected.
+func parsePercent(s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSpace(s), "%"), 64)
+	if err != nil || v < 0 {
+		return 0, fmt.Errorf("invalid -max-regress %q (want e.g. 25%%)", s)
+	}
+	return v / 100, nil
+}
+
+// baseName strips the -GOMAXPROCS suffix go test appends to benchmark
+// names, so runs recorded on machines with different core counts compare.
+func baseName(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// latestRun returns the last run of the trajectory in path.
+func latestRun(path string) (Document, error) {
+	docs, err := loadTrajectory(path)
+	if err != nil {
+		return Document{}, err
+	}
+	if len(docs) == 0 {
+		return Document{}, fmt.Errorf("%s holds no benchmark runs", path)
+	}
+	return docs[len(docs)-1], nil
+}
+
+// hasMemStats reports whether a run carries -benchmem data: JSON cannot
+// distinguish a recorded 0 allocs/op from an absent measurement (both
+// omit the field), so a run whose every benchmark reports zero bytes and
+// zero allocs is treated as recorded without -benchmem.
+func hasMemStats(doc Document) bool {
+	for _, r := range doc.Results {
+		if r.BytesPerOp > 0 || r.AllocsPerOp > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// compareTrajectories diffs the latest run of the new trajectory against
+// the latest run of the old one, benchmark by benchmark, writing one line
+// per comparison to w. It returns the number of benchmarks whose ns/op or
+// allocs/op regressed by more than threshold (a fraction: 0.25 allows up
+// to +25%). Benchmarks present on only one side are reported but never
+// counted as regressions, so adding or retiring a benchmark cannot break
+// the gate; likewise a side recorded without -benchmem disables the
+// allocs/op comparison instead of misreading it as all-zero.
+func compareTrajectories(w io.Writer, oldPath, newPath string, threshold float64) (failures int, err error) {
+	oldRun, err := latestRun(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newRun, err := latestRun(newPath)
+	if err != nil {
+		return 0, err
+	}
+	compareAllocs := hasMemStats(oldRun) && hasMemStats(newRun)
+	if !compareAllocs {
+		fmt.Fprintln(w, "note: a side was recorded without -benchmem; comparing ns/op only")
+	}
+	oldBy := make(map[string]Result, len(oldRun.Results))
+	for _, r := range oldRun.Results {
+		oldBy[baseName(r.Name)] = r
+	}
+	seen := make(map[string]bool, len(newRun.Results))
+	for _, nr := range newRun.Results {
+		name := baseName(nr.Name)
+		seen[name] = true
+		or, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "%s: new benchmark (%.0f ns/op, %d allocs/op)\n", name, nr.NsPerOp, nr.AllocsPerOp)
+			continue
+		}
+		bad := false
+		line := name + ":"
+		if or.NsPerOp > 0 {
+			delta := (nr.NsPerOp - or.NsPerOp) / or.NsPerOp
+			line += fmt.Sprintf(" ns/op %.0f -> %.0f (%+.1f%%)", or.NsPerOp, nr.NsPerOp, delta*100)
+			if delta > threshold {
+				bad = true
+			}
+		}
+		if compareAllocs {
+			switch {
+			case or.AllocsPerOp > 0:
+				delta := float64(nr.AllocsPerOp-or.AllocsPerOp) / float64(or.AllocsPerOp)
+				line += fmt.Sprintf(" allocs/op %d -> %d (%+.1f%%)", or.AllocsPerOp, nr.AllocsPerOp, delta*100)
+				if delta > threshold {
+					bad = true
+				}
+			case nr.AllocsPerOp > 0:
+				// From zero allocations to any is an unbounded regression.
+				line += fmt.Sprintf(" allocs/op 0 -> %d", nr.AllocsPerOp)
+				bad = true
+			}
+		}
+		if bad {
+			failures++
+			line += "  REGRESSION"
+		} else {
+			line += "  ok"
+		}
+		fmt.Fprintln(w, line)
+	}
+	for _, or := range oldRun.Results {
+		if name := baseName(or.Name); !seen[name] {
+			fmt.Fprintf(w, "%s: dropped from the new run\n", name)
+		}
+	}
+	return failures, nil
 }
 
 // parseResult decodes one benchmark line of the form

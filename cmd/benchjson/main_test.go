@@ -85,3 +85,160 @@ func TestLoadTrajectory(t *testing.T) {
 		t.Fatal("garbage accepted as a trajectory")
 	}
 }
+
+func TestParsePercent(t *testing.T) {
+	for in, want := range map[string]float64{"25%": 0.25, "25": 0.25, " 150% ": 1.5, "0%": 0} {
+		got, err := parsePercent(in)
+		if err != nil || got != want {
+			t.Errorf("parsePercent(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	for _, in := range []string{"", "x%", "-5%"} {
+		if _, err := parsePercent(in); err == nil {
+			t.Errorf("parsePercent(%q) accepted", in)
+		}
+	}
+}
+
+func TestBaseName(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkSweep-8":                    "BenchmarkSweep",
+		"BenchmarkSweep":                      "BenchmarkSweep",
+		"BenchmarkSweepLatticeN6_Workers1-16": "BenchmarkSweepLatticeN6_Workers1",
+		"Benchmark_x-y":                       "Benchmark_x-y",
+	} {
+		if got := baseName(in); got != want {
+			t.Errorf("baseName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// writeTrajectory writes a one- or multi-run trajectory for the compare
+// tests; only the latest run matters to the gate.
+func writeTrajectory(t *testing.T, path string, runs ...Document) {
+	t.Helper()
+	enc, err := json.MarshalIndent(runs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, enc, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCompareFlagsSyntheticRegression demonstrates the CI gate: a
+// synthetic 26% ns/op slowdown (and separately an allocs/op jump) must
+// fail a 25% threshold, while equal-or-better runs and sub-threshold noise
+// must pass.
+func TestCompareFlagsSyntheticRegression(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	base := Document{Note: "baseline", Results: []Result{
+		{Name: "BenchmarkSweep-1", Iterations: 1, NsPerOp: 1000, AllocsPerOp: 100},
+		{Name: "BenchmarkStore-1", Iterations: 1, NsPerOp: 500, AllocsPerOp: 0},
+	}}
+	writeTrajectory(t, oldPath, Document{Note: "older, ignored"}, base)
+
+	run := func(newDoc Document, threshold float64) (int, string) {
+		t.Helper()
+		writeTrajectory(t, newPath, newDoc)
+		var buf strings.Builder
+		failures, err := compareTrajectories(&buf, oldPath, newPath, threshold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return failures, buf.String()
+	}
+
+	// 26% ns/op regression on a different GOMAXPROCS suffix: caught.
+	failures, out := run(Document{Results: []Result{
+		{Name: "BenchmarkSweep-8", Iterations: 1, NsPerOp: 1260, AllocsPerOp: 100},
+		{Name: "BenchmarkStore-8", Iterations: 1, NsPerOp: 500},
+	}}, 0.25)
+	if failures != 1 || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("26%% slowdown: failures=%d out=%q", failures, out)
+	}
+
+	// 24% slowdown: within threshold.
+	if failures, out = run(Document{Results: []Result{
+		{Name: "BenchmarkSweep-8", Iterations: 1, NsPerOp: 1240, AllocsPerOp: 100},
+		{Name: "BenchmarkStore-8", Iterations: 1, NsPerOp: 500},
+	}}, 0.25); failures != 0 {
+		t.Fatalf("24%% slowdown flagged: %q", out)
+	}
+
+	// Alloc regression alone (ns/op improved): caught, including the
+	// 0 -> n unbounded case.
+	if failures, out = run(Document{Results: []Result{
+		{Name: "BenchmarkSweep-8", Iterations: 1, NsPerOp: 900, AllocsPerOp: 130},
+		{Name: "BenchmarkStore-8", Iterations: 1, NsPerOp: 400, AllocsPerOp: 7},
+	}}, 0.25); failures != 2 {
+		t.Fatalf("alloc regressions: failures=%d out=%q", failures, out)
+	}
+
+	// Improvement plus added/dropped benchmarks: never a failure.
+	if failures, out = run(Document{Results: []Result{
+		{Name: "BenchmarkSweep-8", Iterations: 1, NsPerOp: 400, AllocsPerOp: 10},
+		{Name: "BenchmarkNew-8", Iterations: 1, NsPerOp: 42},
+	}}, 0.25); failures != 0 || !strings.Contains(out, "new benchmark") || !strings.Contains(out, "dropped") {
+		t.Fatalf("improvement run: failures=%d out=%q", failures, out)
+	}
+}
+
+// TestCompareSkipsAllocsWithoutBenchmem: a baseline (or new run) recorded
+// without -benchmem serializes every allocs_per_op as absent, which is
+// indistinguishable from 0 — the gate must disable the allocs comparison
+// rather than flag every allocating benchmark as an unbounded regression.
+func TestCompareSkipsAllocsWithoutBenchmem(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	// Old run recorded without -benchmem: zero bytes and allocs throughout.
+	writeTrajectory(t, oldPath, Document{Results: []Result{
+		{Name: "BenchmarkSweep-1", Iterations: 1, NsPerOp: 1000},
+	}})
+	writeTrajectory(t, newPath, Document{Results: []Result{
+		{Name: "BenchmarkSweep-8", Iterations: 1, NsPerOp: 1000, BytesPerOp: 4096, AllocsPerOp: 23000},
+	}})
+	var buf strings.Builder
+	failures, err := compareTrajectories(&buf, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 || !strings.Contains(buf.String(), "without -benchmem") {
+		t.Fatalf("benchmem-less baseline: failures=%d out=%q", failures, buf.String())
+	}
+	// A genuine 0 -> n alloc regression still trips when the old run does
+	// carry memory stats on some benchmark.
+	writeTrajectory(t, oldPath, Document{Results: []Result{
+		{Name: "BenchmarkSweep-1", Iterations: 1, NsPerOp: 1000, BytesPerOp: 64, AllocsPerOp: 3},
+		{Name: "BenchmarkEval-1", Iterations: 1, NsPerOp: 100},
+	}})
+	writeTrajectory(t, newPath, Document{Results: []Result{
+		{Name: "BenchmarkSweep-8", Iterations: 1, NsPerOp: 1000, BytesPerOp: 64, AllocsPerOp: 3},
+		{Name: "BenchmarkEval-8", Iterations: 1, NsPerOp: 100, AllocsPerOp: 9},
+	}})
+	buf.Reset()
+	if failures, err = compareTrajectories(&buf, oldPath, newPath, 0.25); err != nil || failures != 1 {
+		t.Fatalf("0 -> 9 allocs: failures=%d err=%v out=%q", failures, err, buf.String())
+	}
+}
+
+// TestCompareAgainstCommittedTrajectory feeds the gate the repository's own
+// BENCH_sweep.json on both sides: comparing a trajectory against itself
+// must never fail, whatever the file accumulates over time.
+func TestCompareAgainstCommittedTrajectory(t *testing.T) {
+	path := filepath.Join("..", "..", "BENCH_sweep.json")
+	if _, err := os.Stat(path); err != nil {
+		t.Skipf("no committed trajectory: %v", err)
+	}
+	var buf strings.Builder
+	failures, err := compareTrajectories(&buf, path, path, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures != 0 {
+		t.Fatalf("self-comparison failed:\n%s", buf.String())
+	}
+}

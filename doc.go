@@ -92,7 +92,35 @@
 //     cancelled and its workers drain. Per-request deadlines and n caps
 //     ride on the v2 context plumbing.
 //
+// # The v4 hot path: bitset kernel, symmetry pruning, benchmark gating
+//
+// Everything the engine computes bottoms out in BFS distance sums and
+// deviation scans, so v4 rebuilt that layer:
+//
+//   - Graphs up to 512 nodes maintain a dense []uint64 bitset mirror of
+//     their adjacency alongside the sorted neighbor lists. BFS frontiers
+//     advance word-at-a-time, edge queries are a single AND, and
+//     Graph.BFSScratchInto traverses with caller-owned scratch. The
+//     equilibrium checkers scan deviations by mutating edges in place with
+//     per-Evaluator scratch buffers: a stability check at sweep sizes
+//     allocates nothing (a NewEvaluator can be bound to a state with Bind
+//     and queried per concept with CheckBound; Evaluator.Rho is the
+//     allocation-free social-cost ratio).
+//   - Enumeration is symmetry-pruned: AllGraphClasses and
+//     AllFreeTreeClasses yield one representative per isomorphism class —
+//     the same representative, in the same order, as ever — by rejecting
+//     non-minimal labelings with an early-aborting automorphism search
+//     instead of canonicalizing and deduplicating every labeled graph,
+//     and report each class's orbit size n!/|Aut| (GraphClass).
+//   - The performance trajectory in BENCH_sweep.json (a JSON array of
+//     recorded `go test -bench` runs; see cmd/benchjson) is enforced by
+//     CI: `benchjson -compare old.json new.json -max-regress 25%` diffs
+//     the latest entries per benchmark and fails the build past the
+//     threshold, so ns/op and allocs/op regressions on the sweep and
+//     store hot paths cannot land silently.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the recorded reproduction results, the file format of the verdict
-// store, and the NDJSON/JSON schemas of the serving endpoints.
+// store, the NDJSON/JSON schemas of the serving endpoints, and the
+// before/after numbers of the v4 kernel.
 package bncg

@@ -32,9 +32,11 @@ type PoAResult struct {
 // the maximal ρ over all free trees on n nodes that are stable for the
 // concept at price alpha. Exact for every concept; the BSE/BNE checkers
 // bound the practical n (see package eq). The search runs on the parallel
-// sweep engine with the process-wide verdict cache. Cancelling ctx stops
-// the search within one tree granularity and returns the reduction over
-// the completed portion together with ctx.Err().
+// sweep engine with the process-wide verdict cache; stability checks and
+// the per-tree distance sums behind ρ run on the zero-allocation bitset
+// kernel of package graph through per-worker eq.Evaluators. Cancelling ctx
+// stops the search within one tree granularity and returns the reduction
+// over the completed portion together with ctx.Err().
 func WorstTree(ctx context.Context, n int, alpha game.Alpha, concept eq.Concept) (PoAResult, error) {
 	return worstCase(ctx, n, alpha, concept, sweep.Trees)
 }

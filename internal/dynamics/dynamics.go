@@ -80,11 +80,15 @@ func Run(ctx context.Context, gm game.Game, g *graph.Graph, opts Options) (Trace
 		maxSteps = 10 * g.N() * g.N()
 	}
 	var tr Trace
+	// One evaluator serves the whole run: Improving re-binds it per
+	// candidate but reuses its BFS and baseline buffers across the
+	// thousands of scans a run performs.
+	ev := eq.NewEvaluator()
 	for tr.Steps < maxSteps {
 		if err := ctx.Err(); err != nil {
 			return tr, err
 		}
-		m, ok := findImproving(gm, g, rng, opts)
+		m, ok := findImproving(ev, gm, g, rng, opts)
 		if !ok {
 			tr.Converged = true
 			return tr, nil
@@ -96,20 +100,23 @@ func Run(ctx context.Context, gm game.Game, g *graph.Graph, opts Options) (Trace
 		tr.Steps++
 	}
 	// One final scan decides whether we stopped exactly at a fixed point.
-	_, more := findImproving(gm, g, rng, opts)
+	_, more := findImproving(ev, gm, g, rng, opts)
 	tr.Converged = !more
 	return tr, nil
 }
 
 // findImproving scans the allowed move families in random order and
-// returns the first strictly improving move.
-func findImproving(gm game.Game, g *graph.Graph, rng *rand.Rand, opts Options) (move.Move, bool) {
+// returns the first strictly improving move. The baseline costs are
+// computed once per scan (the state is fixed; every probe reverts it), not
+// once per candidate.
+func findImproving(ev *eq.Evaluator, gm game.Game, g *graph.Graph, rng *rand.Rand, opts Options) (move.Move, bool) {
 	candidates := collectMoves(g, opts)
 	rng.Shuffle(len(candidates), func(i, j int) {
 		candidates[i], candidates[j] = candidates[j], candidates[i]
 	})
+	ev.Bind(gm, g)
 	for _, m := range candidates {
-		if eq.Improving(gm, g, m) {
+		if ev.ImprovingBound(m) {
 			return m, true
 		}
 	}

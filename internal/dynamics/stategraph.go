@@ -46,13 +46,17 @@ func AnalyzeStateGraph(ctx context.Context, n int, alpha game.Alpha, kinds []Kin
 	// succ[s] lists the successor states reachable by one improving move.
 	succ := make([][]int, total)
 	res := StateGraphResult{States: total}
+	ev := eq.NewEvaluator()
 	for s := 0; s < total; s++ {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
 		g := stateToGraph(n, s)
+		// One baseline per state: the probes below revert g, and the
+		// successor application re-binds implicitly via the next state.
+		ev.Bind(gm, g)
 		for _, m := range collectMoves(g, Options{Kinds: kinds}) {
-			if !eq.Improving(gm, g, m) {
+			if !ev.ImprovingBound(m) {
 				continue
 			}
 			undo, err := m.Apply(g)

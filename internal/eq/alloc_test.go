@@ -1,0 +1,114 @@
+package eq
+
+import (
+	"testing"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// allocGraph returns the n=8 gadget the allocation-regression tests run
+// on: the cycle C8, whose scans explore the full move space of every
+// concept.
+func allocGraph() *graph.Graph {
+	return graph.MustFromEdges(8, []graph.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4},
+		{U: 4, V: 5}, {U: 5, V: 6}, {U: 6, V: 7}, {U: 7, V: 0},
+	})
+}
+
+// TestEvaluatorZeroAllocsPerCheck is the allocation-regression gate of the
+// bitset kernel: after warmup, a bound Evaluator must perform stability
+// checks at sweep sizes (n=8 here) without a single heap allocation. Only
+// the cold unstable path may allocate — it boxes the witness move — so the
+// pinned checks run on (concept, α) cells where the state is stable and
+// the scan therefore explores every candidate move.
+func TestEvaluatorZeroAllocsPerCheck(t *testing.T) {
+	g := allocGraph()
+	ev := NewEvaluator()
+	// C8 at α=5: stable for every concept through 2-BSE (Lemma 2.4
+	// territory: cycles are stable at high α). Verify the premise first so
+	// the test fails loudly if the gadget drifts.
+	gm, err := game.NewGame(8, game.A(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	concepts := []Concept{RE, BAE, PS, BSwE, BGE, BNE, TwoBSE}
+	for _, c := range concepts {
+		if res := ev.Check(gm, g, c); !res.Stable {
+			t.Fatalf("premise broken: C8 at α=5 unstable for %s (witness %v)", c, res.Witness)
+		}
+	}
+	// Warmup happened above (buffers grown to n=8); pin zero allocations
+	// per full concept scan, including the per-task Bind.
+	allocs := testing.AllocsPerRun(10, func() {
+		ev.Bind(gm, g)
+		for _, c := range concepts {
+			if !ev.CheckBound(c).Stable {
+				t.Fatal("unexpected instability")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("evaluator allocates %v times per %d-concept check at n=8, want 0", allocs, len(concepts))
+	}
+}
+
+// TestEvaluatorRhoZeroAllocs pins the allocation-free social-cost path the
+// PoA reductions use, and its bit-identity with Game.Rho.
+func TestEvaluatorRhoZeroAllocs(t *testing.T) {
+	g := allocGraph()
+	ev := NewEvaluator()
+	gm, err := game.NewGame(8, game.AFrac(5, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := ev.Rho(gm, g), gm.Rho(g); got != want {
+		t.Fatalf("Evaluator.Rho = %v, Game.Rho = %v", got, want)
+	}
+	ev.Rho(gm, g) // warm the scratch
+	if allocs := testing.AllocsPerRun(10, func() {
+		ev.Rho(gm, g)
+	}); allocs != 0 {
+		t.Errorf("Evaluator.Rho allocates %v times per call, want 0", allocs)
+	}
+}
+
+// TestEvaluatorMatchesCheckAllConcepts is the kernel differential at the
+// checker level: for every connected graph up to n=5 across a mixed α
+// grid, the scratch-buffer Evaluator (bitset BFS, in-place scans) and the
+// package-level Check must agree on stability AND on the witness move —
+// the scans were rewritten move-for-move, so even the violating witness is
+// pinned.
+func TestEvaluatorMatchesCheckAllConcepts(t *testing.T) {
+	alphas := []game.Alpha{game.AFrac(1, 2), game.A(1), game.A(3)}
+	ev := NewEvaluator()
+	for n := 2; n <= 5; n++ {
+		for g := range graph.All(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}) {
+			for _, alpha := range alphas {
+				gm, err := game.NewGame(n, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for _, c := range Concepts() {
+					got := ev.Check(gm, g.Clone(), c)
+					want := Check(gm, g, c)
+					if got.Stable != want.Stable {
+						t.Errorf("n=%d α=%s %s on %s: evaluator stable=%v, check stable=%v",
+							n, alpha, c, g, got.Stable, want.Stable)
+					}
+					gotW, wantW := "", ""
+					if got.Witness != nil {
+						gotW = got.Witness.String()
+					}
+					if want.Witness != nil {
+						wantW = want.Witness.String()
+					}
+					if gotW != wantW {
+						t.Errorf("n=%d α=%s %s on %s: witness %q != %q", n, alpha, c, g, gotW, wantW)
+					}
+				}
+			}
+		}
+	}
+}

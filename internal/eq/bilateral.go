@@ -14,12 +14,33 @@ func CheckRE(gm game.Game, g *graph.Graph) Result {
 	return c.checkRE()
 }
 
+// The scans below mutate edges directly and revert them in place instead
+// of constructing move.Move values: boxing a move into the interface
+// allocates, and the scans run millions of candidates per sweep. A move is
+// only materialized on the cold path, as the witness of a violation. Scan
+// order matches the historical move enumeration exactly, so witnesses are
+// byte-identical.
+
 func (c *checker) checkRE() Result {
-	for _, e := range c.g.Edges() {
-		for _, u := range []int{e.U, e.V} {
-			m := move.Remove{U: u, V: e.Other(u)}
-			if c.tryMove(m) {
-				return unstable(m)
+	// Edges in canonical (U<V) lexicographic order — the Edges() order —
+	// trying the smaller endpoint as the remover first.
+	for u := 0; u < c.g.N(); u++ {
+		nb := c.snapshotNeighbors(u)
+		for _, v := range nb {
+			if v < u {
+				continue // already scanned from the smaller endpoint
+			}
+			for flip := 0; flip < 2; flip++ {
+				a, b := u, v
+				if flip == 1 {
+					a, b = v, u
+				}
+				c.g.RemoveEdge(a, b)
+				imp := c.improves(a)
+				c.g.AddEdge(a, b)
+				if imp {
+					return unstable(move.Remove{U: a, V: b})
+				}
 			}
 		}
 	}
@@ -40,9 +61,11 @@ func (c *checker) checkBAE() Result {
 			if c.g.HasEdge(u, v) {
 				continue
 			}
-			m := move.Add{U: u, V: v}
-			if c.tryMove(m) {
-				return unstable(m)
+			c.g.AddEdge(u, v)
+			imp := c.improves(u) && c.improves(v)
+			c.g.RemoveEdge(u, v)
+			if imp {
+				return unstable(move.Add{U: u, V: v})
 			}
 		}
 	}
@@ -74,15 +97,19 @@ func CheckBSwE(gm game.Game, g *graph.Graph) Result {
 
 func (c *checker) checkBSwE() Result {
 	for u := 0; u < c.g.N(); u++ {
-		neighbors := append([]int(nil), c.g.Neighbors(u)...)
-		for _, v := range neighbors {
+		nb := c.snapshotNeighbors(u)
+		for _, v := range nb {
 			for w := 0; w < c.g.N(); w++ {
 				if w == u || w == v || c.g.HasEdge(u, w) {
 					continue
 				}
-				m := move.Swap{U: u, Old: v, New: w}
-				if c.tryMove(m) {
-					return unstable(m)
+				c.g.RemoveEdge(u, v)
+				c.g.AddEdge(u, w)
+				imp := c.improves(u) && c.improves(w)
+				c.g.RemoveEdge(u, w)
+				c.g.AddEdge(u, v)
+				if imp {
+					return unstable(move.Swap{U: u, Old: v, New: w})
 				}
 			}
 		}
@@ -120,35 +147,66 @@ func CheckBNE(gm game.Game, g *graph.Graph) Result {
 func (c *checker) checkBNE() Result {
 	n := c.g.N()
 	for u := 0; u < n; u++ {
-		neighbors := append([]int(nil), c.g.Neighbors(u)...)
-		var nonNeighbors []int
+		nb := c.snapshotNeighbors(u)
+		nn := c.nnbuf[:0]
 		for v := 0; v < n; v++ {
 			if v != u && !c.g.HasEdge(u, v) {
-				nonNeighbors = append(nonNeighbors, v)
+				nn = append(nn, v)
 			}
 		}
-		if w, ok := searchNeighborhood(c, u, neighbors, nonNeighbors); ok {
+		c.nnbuf = nn
+		if w, ok := c.searchNeighborhood(u, nb, nn); ok {
 			return unstable(w)
 		}
 	}
 	return stable()
 }
 
-// searchNeighborhood looks for an improving neighborhood change around u.
-func searchNeighborhood(c *checker, u int, neighbors, nonNeighbors []int) (move.Neighborhood, bool) {
+// searchNeighborhood looks for an improving neighborhood change around u:
+// drop the neighbors selected by rMask, connect to the non-neighbors
+// selected by aMask, and require u and every new partner to strictly
+// improve (in that order, with early exit).
+func (c *checker) searchNeighborhood(u int, neighbors, nonNeighbors []int) (move.Neighborhood, bool) {
 	for rMask := 0; rMask < 1<<len(neighbors); rMask++ {
-		removeTo := subsetOf(neighbors, rMask)
 		for aMask := 0; aMask < 1<<len(nonNeighbors); aMask++ {
 			if rMask == 0 && aMask == 0 {
 				continue
 			}
-			m := move.Neighborhood{
-				U:        u,
-				RemoveTo: removeTo,
-				AddTo:    subsetOf(nonNeighbors, aMask),
+			for i, v := range neighbors {
+				if rMask&(1<<i) != 0 {
+					c.g.RemoveEdge(u, v)
+				}
 			}
-			if c.tryMove(m) {
-				return m, true
+			for i, w := range nonNeighbors {
+				if aMask&(1<<i) != 0 {
+					c.g.AddEdge(u, w)
+				}
+			}
+			imp := c.improves(u)
+			if imp {
+				for i, w := range nonNeighbors {
+					if aMask&(1<<i) != 0 && !c.improves(w) {
+						imp = false
+						break
+					}
+				}
+			}
+			for i, w := range nonNeighbors {
+				if aMask&(1<<i) != 0 {
+					c.g.RemoveEdge(u, w)
+				}
+			}
+			for i, v := range neighbors {
+				if rMask&(1<<i) != 0 {
+					c.g.AddEdge(u, v)
+				}
+			}
+			if imp {
+				return move.Neighborhood{
+					U:        u,
+					RemoveTo: subsetOf(neighbors, rMask),
+					AddTo:    subsetOf(nonNeighbors, aMask),
+				}, true
 			}
 		}
 	}

@@ -105,9 +105,12 @@ func Check(gm game.Game, g *graph.Graph, c Concept) Result {
 	return ch.check(c)
 }
 
-// Evaluator is a reusable equilibrium evaluator: it keeps the BFS buffer
-// and baseline-cost slice alive between calls, so sweeps over many states
-// pay one allocation per worker instead of one per state.
+// Evaluator is a reusable equilibrium evaluator: it keeps the BFS scratch,
+// the baseline-cost slice and the deviation-scan buffers alive between
+// calls, so sweeps over many states allocate nothing per stability check
+// (at sweep sizes) instead of re-allocating per state. The hot-path scans
+// mutate edges directly and only materialize a move.Move on the cold
+// unstable path, for the witness.
 //
 // An Evaluator is deliberately not safe for concurrent use — and neither is
 // the Graph it evaluates, because checkers apply candidate moves in place
@@ -127,13 +130,59 @@ func (ev *Evaluator) Check(gm game.Game, g *graph.Graph, c Concept) Result {
 	return ev.c.check(c)
 }
 
+// Bind points the evaluator at a state and computes the baseline agent
+// costs once; subsequent CheckBound calls evaluate concepts against the
+// bound state without recomputing the baseline. Bind/CheckBound is the
+// sweep engine's path for checking several concepts per (graph, α) task:
+// every checker restores the graph before returning, so the baseline stays
+// valid across the whole concept grid.
+func (ev *Evaluator) Bind(gm game.Game, g *graph.Graph) { ev.c.reset(gm, g) }
+
+// CheckBound evaluates concept c on the state bound by the last Bind. It
+// must not be called before Bind.
+func (ev *Evaluator) CheckBound(c Concept) Result { return ev.c.check(c) }
+
+// Rho returns the social cost ratio ρ(g) — identical to Game.Rho bit for
+// bit — computed with the evaluator's scratch buffers, so PoA reductions
+// over a sweep allocate nothing per graph.
+func (ev *Evaluator) Rho(gm game.Game, g *graph.Graph) float64 {
+	n := g.N()
+	if cap(ev.c.dist) < n {
+		ev.c.dist = make([]int, n)
+	}
+	dist := ev.c.dist[:n]
+	var total game.Cost
+	for u := 0; u < n; u++ {
+		g.BFSScratchInto(u, dist, &ev.c.bfs)
+		cst := gm.AgentCostFromDist(g, u, dist)
+		total.Unreachable += cst.Unreachable
+		total.Buy += cst.Buy
+		total.Dist += cst.Dist
+	}
+	return gm.RhoOfCost(total)
+}
+
 // checker bundles the state shared by the exact checkers: the game, the
-// graph under test, the baseline agent costs and a reusable BFS buffer.
+// graph under test, the baseline agent costs, the BFS scratch and the
+// deviation-scan buffers. All buffers grow to the largest instance seen
+// and are then reused, so a long-lived checker (via Evaluator) performs
+// zero allocations per check at sweep sizes.
 type checker struct {
 	gm   game.Game
 	g    *graph.Graph
 	base []game.Cost
 	dist []int
+	bfs  graph.BFSScratch
+	// Scratch of the deviation scans. nbuf snapshots the neighbor list of
+	// the agent under scan (the scans mutate the graph while exploring
+	// moves); nnbuf its non-neighbors; members, inCoal, removable and
+	// addable carry the k-BSE coalition search.
+	nbuf      []int
+	nnbuf     []int
+	members   []int
+	inCoal    []bool
+	removable []graph.Edge
+	addable   []graph.Edge
 }
 
 // reset points the checker at a new state and recomputes the baseline agent
@@ -149,9 +198,17 @@ func (c *checker) reset(gm game.Game, g *graph.Graph) {
 	c.base = c.base[:n]
 	c.dist = c.dist[:n]
 	for u := 0; u < n; u++ {
-		g.BFSInto(u, c.dist)
+		g.BFSScratchInto(u, c.dist, &c.bfs)
 		c.base[u] = gm.AgentCostFromDist(g, u, c.dist)
 	}
+}
+
+// snapshotNeighbors copies u's current neighbor list into the checker's
+// scratch. Scans iterate the copy because exploring a move mutates the
+// live list. The returned slice is invalidated by the next snapshot.
+func (c *checker) snapshotNeighbors(u int) []int {
+	c.nbuf = append(c.nbuf[:0], c.g.Neighbors(u)...)
+	return c.nbuf
 }
 
 // check dispatches to the per-concept checker method.
@@ -182,7 +239,7 @@ func (c *checker) check(concept Concept) Result {
 
 // cost returns agent u's cost in the current (possibly mutated) graph.
 func (c *checker) cost(u int) game.Cost {
-	c.g.BFSInto(u, c.dist)
+	c.g.BFSScratchInto(u, c.dist, &c.bfs)
 	return c.gm.AgentCostFromDist(c.g, u, c.dist)
 }
 

@@ -28,74 +28,114 @@ func (c *checker) checkKBSE(k int) Result {
 	if k > c.g.N() {
 		k = c.g.N()
 	}
-	members := make([]int, 0, k)
-	if w, ok := searchCoalitions(c, 0, members, k); ok {
+	c.members = c.members[:0]
+	if w, ok := c.searchCoalitions(0, k); ok {
 		return unstable(w)
 	}
 	return stable()
 }
 
 // searchCoalitions enumerates coalitions Γ ⊆ V with |Γ| ≤ maxK in
-// lexicographic order (members strictly increasing, starting at from).
-func searchCoalitions(c *checker, from int, members []int, maxK int) (move.Coalition, bool) {
-	if len(members) > 0 {
-		if w, ok := searchCoalitionMoves(c, members); ok {
+// lexicographic order (members strictly increasing, starting at from),
+// growing and shrinking the shared members scratch in place.
+func (c *checker) searchCoalitions(from, maxK int) (move.Coalition, bool) {
+	if len(c.members) > 0 {
+		if w, ok := c.searchCoalitionMoves(); ok {
 			return w, true
 		}
 	}
-	if len(members) == maxK {
+	if len(c.members) == maxK {
 		return move.Coalition{}, false
 	}
 	for v := from; v < c.g.N(); v++ {
-		if w, ok := searchCoalitions(c, v+1, append(members, v), maxK); ok {
+		c.members = append(c.members, v)
+		if w, ok := c.searchCoalitions(v+1, maxK); ok {
 			return w, true
 		}
+		c.members = c.members[:len(c.members)-1]
 	}
 	return move.Coalition{}, false
 }
 
-// searchCoalitionMoves enumerates every (removals, additions) pair legal for
-// the coalition and tests whether all members strictly improve.
-func searchCoalitionMoves(c *checker, members []int) (move.Coalition, bool) {
-	inCoalition := make(map[int]bool, len(members))
-	for _, u := range members {
-		inCoalition[u] = true
+// searchCoalitionMoves enumerates every (removals, additions) pair legal
+// for the current coalition scratch and tests whether all members strictly
+// improve. Edge subsets are applied and reverted in place; a Coalition
+// value is only built as the witness of a violation.
+func (c *checker) searchCoalitionMoves() (move.Coalition, bool) {
+	n := c.g.N()
+	if cap(c.inCoal) < n {
+		c.inCoal = make([]bool, n)
 	}
-	// Removable: existing edges touching the coalition.
-	var removable []graph.Edge
-	for _, e := range c.g.Edges() {
-		if inCoalition[e.U] || inCoalition[e.V] {
-			removable = append(removable, e)
-		}
+	inCoal := c.inCoal[:n]
+	for i := range inCoal {
+		inCoal[i] = false
 	}
-	// Addable: absent edges inside the coalition.
-	var addable []graph.Edge
-	for i := 0; i < len(members); i++ {
-		for j := i + 1; j < len(members); j++ {
-			if !c.g.HasEdge(members[i], members[j]) {
-				addable = append(addable, graph.Edge{U: members[i], V: members[j]})
+	for _, u := range c.members {
+		inCoal[u] = true
+	}
+	// Removable: existing edges touching the coalition, in canonical
+	// lexicographic (U<V) order. Addable: absent edges inside the
+	// coalition, in member order.
+	removable := c.removable[:0]
+	for u := 0; u < n; u++ {
+		for _, v := range c.g.Neighbors(u) {
+			if u < v && (inCoal[u] || inCoal[v]) {
+				removable = append(removable, graph.Edge{U: u, V: v})
 			}
 		}
 	}
+	addable := c.addable[:0]
+	for i := 0; i < len(c.members); i++ {
+		for j := i + 1; j < len(c.members); j++ {
+			if !c.g.HasEdge(c.members[i], c.members[j]) {
+				addable = append(addable, graph.Edge{U: c.members[i], V: c.members[j]})
+			}
+		}
+	}
+	c.removable, c.addable = removable, addable
 	if len(removable) > 30 || len(addable) > 30 {
 		// Guard against accidental astronomically large searches; the
 		// exact checker is documented for small instances only.
 		panic("eq: coalition move space too large for exact k-BSE check")
 	}
-	actors := append([]int(nil), members...)
 	for rMask := 0; rMask < 1<<len(removable); rMask++ {
-		removals := edgeSubset(removable, rMask)
 		for aMask := 0; aMask < 1<<len(addable); aMask++ {
 			if rMask == 0 && aMask == 0 {
 				continue
 			}
-			m := move.Coalition{
-				Members:     actors,
-				RemoveEdges: removals,
-				AddEdges:    edgeSubset(addable, aMask),
+			for i, e := range removable {
+				if rMask&(1<<i) != 0 {
+					c.g.RemoveEdge(e.U, e.V)
+				}
 			}
-			if c.tryMove(m) {
-				return m, true
+			for i, e := range addable {
+				if aMask&(1<<i) != 0 {
+					c.g.AddEdge(e.U, e.V)
+				}
+			}
+			imp := true
+			for _, u := range c.members {
+				if !c.improves(u) {
+					imp = false
+					break
+				}
+			}
+			for i, e := range addable {
+				if aMask&(1<<i) != 0 {
+					c.g.RemoveEdge(e.U, e.V)
+				}
+			}
+			for i, e := range removable {
+				if rMask&(1<<i) != 0 {
+					c.g.AddEdge(e.U, e.V)
+				}
+			}
+			if imp {
+				return move.Coalition{
+					Members:     append([]int(nil), c.members...),
+					RemoveEdges: edgeSubset(removable, rMask),
+					AddEdges:    edgeSubset(addable, aMask),
+				}, true
 			}
 		}
 	}

@@ -119,16 +119,27 @@ func CheckUnilateralNE(gm game.Game, g *graph.Graph, o *game.Ownership) Result {
 // CheckMultiRemove reports whether some agent improves by removing any
 // subset of her incident edges at once. Proposition A.2 (after Corbo and
 // Parkes) implies this is equivalent to CheckRE; the experiments verify
-// that equivalence.
+// that equivalence. Like the bilateral scans, subsets are applied and
+// reverted in place, with a Neighborhood move built only as witness.
 func CheckMultiRemove(gm game.Game, g *graph.Graph) Result {
 	var c checker
 	c.reset(gm, g)
 	for u := 0; u < g.N(); u++ {
-		neighbors := append([]int(nil), g.Neighbors(u)...)
-		for mask := 1; mask < 1<<len(neighbors); mask++ {
-			m := move.Neighborhood{U: u, RemoveTo: subsetOf(neighbors, mask)}
-			if c.tryMove(m) {
-				return unstable(m)
+		nb := c.snapshotNeighbors(u)
+		for mask := 1; mask < 1<<len(nb); mask++ {
+			for i, v := range nb {
+				if mask&(1<<i) != 0 {
+					c.g.RemoveEdge(u, v)
+				}
+			}
+			imp := c.improves(u)
+			for i, v := range nb {
+				if mask&(1<<i) != 0 {
+					c.g.AddEdge(u, v)
+				}
+			}
+			if imp {
+				return unstable(move.Neighborhood{U: u, RemoveTo: subsetOf(nb, mask)})
 			}
 		}
 	}

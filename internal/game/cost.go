@@ -129,12 +129,18 @@ func (gm Game) OptCost() Cost {
 // It returns +Inf semantics via a large ratio if g is disconnected (the
 // paper never takes ρ of disconnected graphs; callers should check).
 func (gm Game) Rho(g *graph.Graph) float64 {
-	c := gm.SocialCost(g)
-	opt := gm.OptCost()
+	return gm.RhoOfCost(gm.SocialCost(g))
+}
+
+// RhoOfCost returns the social cost ratio of a precomputed social cost,
+// with the same disconnection sentinel as Rho. It exists so callers that
+// compute the social cost with their own scratch buffers (the sweep
+// engine's evaluators) produce bit-identical ratios.
+func (gm Game) RhoOfCost(c Cost) float64 {
 	if c.Unreachable > 0 {
 		return float64(c.Unreachable) * 1e18 // sentinel: disconnected
 	}
-	return c.Value(gm.Alpha) / opt.Value(gm.Alpha)
+	return c.Value(gm.Alpha) / gm.OptCost().Value(gm.Alpha)
 }
 
 // Star returns the star graph on n nodes with center 0, the social optimum

@@ -31,7 +31,14 @@ func (g *Graph) BFS(src int) []int {
 
 // BFSInto is BFS writing into a caller-provided slice of length n, avoiding
 // allocation in hot loops (equilibrium checkers evaluate millions of moves).
+// Graphs on up to 64 nodes run the single-word bitset kernel and allocate
+// nothing; larger graphs needing allocation-free traversal should use
+// BFSScratchInto.
 func (g *Graph) BFSInto(src int, dist []int) {
+	if g.bits != nil && g.words == 1 {
+		g.bfsWord(src, dist)
+		return
+	}
 	for i := range dist {
 		dist[i] = Unreachable
 	}
@@ -68,10 +75,14 @@ func (g *Graph) AllPairs() [][]int {
 }
 
 // Connected reports whether the graph is connected. The empty graph and the
-// single-node graph are connected.
+// single-node graph are connected. Graphs on up to 64 nodes answer with the
+// word-at-a-time reach closure and allocate nothing.
 func (g *Graph) Connected() bool {
 	if g.n <= 1 {
 		return true
+	}
+	if g.bits != nil && g.words == 1 {
+		return g.connectedWord()
 	}
 	dist := g.BFS(0)
 	for _, d := range dist {

@@ -51,11 +51,19 @@ func (e Edge) String() string {
 // The zero value is not usable; construct graphs with New or the package
 // constructors. Adjacency is stored as sorted neighbor lists: memory is
 // O(n+m), which keeps the 10^5-node families of Section 3.3 cheap, and
-// edge queries are a binary search of the smaller endpoint's list.
+// edge queries are a binary search of the smaller endpoint's list. Graphs
+// with at most MaxBitsetNodes nodes additionally maintain a dense bitset
+// mirror of the adjacency ([]uint64 rows, kept in lockstep by every edge
+// mutation), which the traversal kernels use for word-at-a-time BFS
+// frontiers and O(1) edge queries.
 type Graph struct {
 	n     int
 	m     int
 	neigh [][]int
+	// bits[u] is u's adjacency row (bit v set iff uv is an edge); nil for
+	// n > MaxBitsetNodes. words is the row length in uint64 words.
+	bits  [][]uint64
+	words int
 }
 
 // New returns an empty graph on n nodes. It panics for n < 0 because a
@@ -64,10 +72,12 @@ func New(n int) *Graph {
 	if n < 0 {
 		panic("graph: negative node count")
 	}
-	return &Graph{
+	g := &Graph{
 		n:     n,
 		neigh: make([][]int, n),
 	}
+	g.initBits()
+	return g
 }
 
 // FromEdges returns a graph on n nodes with the given edges. It reports an
@@ -103,6 +113,9 @@ func (g *Graph) HasEdge(u, v int) bool {
 	if u < 0 || v < 0 || u >= g.n || v >= g.n || u == v {
 		return false
 	}
+	if g.bits != nil {
+		return g.bits[u][v>>6]&(1<<uint(v&63)) != 0
+	}
 	if len(g.neigh[u]) > len(g.neigh[v]) {
 		u, v = v, u
 	}
@@ -127,6 +140,10 @@ func (g *Graph) addEdgeChecked(u, v int) error {
 func (g *Graph) insertEdge(u, v int) {
 	g.neigh[u] = insertSorted(g.neigh[u], v)
 	g.neigh[v] = insertSorted(g.neigh[v], u)
+	if g.bits != nil {
+		g.bits[u][v>>6] |= 1 << uint(v&63)
+		g.bits[v][u>>6] |= 1 << uint(u&63)
+	}
 	g.m++
 }
 
@@ -147,6 +164,10 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	}
 	g.neigh[u] = removeSorted(g.neigh[u], v)
 	g.neigh[v] = removeSorted(g.neigh[v], u)
+	if g.bits != nil {
+		g.bits[u][v>>6] &^= 1 << uint(v&63)
+		g.bits[v][u>>6] &^= 1 << uint(u&63)
+	}
 	g.m--
 	return true
 }
@@ -182,6 +203,12 @@ func (g *Graph) Clone() *Graph {
 	}
 	for i := 0; i < g.n; i++ {
 		c.neigh[i] = append([]int(nil), g.neigh[i]...)
+	}
+	c.initBits()
+	if c.bits != nil {
+		for u := 0; u < g.n; u++ {
+			copy(c.bits[u], g.bits[u])
+		}
 	}
 	return c
 }

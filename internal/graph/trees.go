@@ -113,23 +113,42 @@ func PruferEncode(g *Graph) ([]int, error) {
 // trees, reduced to free trees by AHU canonical hashing at the tree center.
 func AllFreeTrees(n int) iter.Seq2[*Graph, string] {
 	return func(yield func(*Graph, string) bool) {
+		for g, cl := range AllFreeTreeClasses(n) {
+			if !yield(g, cl.Key) {
+				return
+			}
+		}
+	}
+}
+
+// AllFreeTreeClasses is AllFreeTrees additionally reporting each class's
+// orbit size n!/|Aut| (the number of labeled trees isomorphic to the
+// representative; summed over the enumeration it recovers Cayley's
+// n^(n-2)). Duplicate rooted trees are rejected on a scratch parent-array
+// representation of the level sequence, so a Graph is only materialized
+// for the first rooted tree of each free class — the same representative,
+// in the same order, as always.
+func AllFreeTreeClasses(n int) iter.Seq2[*Graph, Class] {
+	return func(yield func(*Graph, Class) bool) {
 		if n <= 0 {
 			return
 		}
+		nfact := factorial(n)
 		if n == 1 {
 			g := New(1)
-			yield(g, FreeTreeKey(g))
+			yield(g, Class{Key: FreeTreeKey(g), Orbit: 1})
 			return
 		}
 		seen := make(map[string]bool)
+		lt := newLevelTree(n)
 		rootedTrees(n, func(level []int) bool {
-			g := treeFromLevels(level)
-			key := FreeTreeKey(g)
+			lt.load(level)
+			key, aut := lt.freeKeyAut()
 			if seen[key] {
 				return true
 			}
 			seen[key] = true
-			return yield(g, key)
+			return yield(treeFromLevels(level), Class{Key: key, Orbit: nfact / aut})
 		})
 	}
 }
@@ -202,6 +221,165 @@ func treeFromLevels(level []int) *Graph {
 		}
 	}
 	return g
+}
+
+// levelTree is a reusable scratch decoding of a rooted level sequence into
+// parent/children form, with center extraction and AHU encoding — the
+// free-tree reduction of AllFreeTreeClasses without materializing a Graph
+// per rooted tree.
+type levelTree struct {
+	n        int
+	parent   []int
+	children [][]int
+	degree   []int
+	removed  []bool
+	leaves   []int
+	next     []int
+}
+
+func newLevelTree(n int) *levelTree {
+	return &levelTree{
+		n:        n,
+		parent:   make([]int, n),
+		children: make([][]int, n),
+		degree:   make([]int, n),
+		removed:  make([]bool, n),
+	}
+}
+
+// load decodes a level sequence (level[0] = 1) into parent and children
+// lists: each node's parent is the nearest earlier node one level up —
+// the same rule as treeFromLevels.
+func (t *levelTree) load(level []int) {
+	for i := range t.children {
+		t.children[i] = t.children[i][:0]
+	}
+	t.parent[0] = -1
+	for i := 1; i < t.n; i++ {
+		for j := i - 1; j >= 0; j-- {
+			if level[j] == level[i]-1 {
+				t.parent[i] = j
+				t.children[j] = append(t.children[j], i)
+				break
+			}
+		}
+	}
+}
+
+// centers returns the tree's 1 or 2 centers by iterative leaf removal
+// (c2 = -1 when unicentral), mirroring Centers on the scratch arrays.
+func (t *levelTree) centers() (c1, c2 int) {
+	n := t.n
+	if n == 1 {
+		return 0, -1
+	}
+	for u := 0; u < n; u++ {
+		d := len(t.children[u])
+		if t.parent[u] >= 0 {
+			d++
+		}
+		t.degree[u] = d
+		t.removed[u] = false
+	}
+	leaves := t.leaves[:0]
+	for u := 0; u < n; u++ {
+		if t.degree[u] <= 1 {
+			leaves = append(leaves, u)
+		}
+	}
+	next := t.next[:0]
+	remaining := n
+	drop := func(v int) {
+		if !t.removed[v] {
+			t.degree[v]--
+			if t.degree[v] == 1 {
+				next = append(next, v)
+			}
+		}
+	}
+	for remaining > 2 {
+		next = next[:0]
+		for _, u := range leaves {
+			t.removed[u] = true
+			remaining--
+			if p := t.parent[u]; p >= 0 {
+				drop(p)
+			}
+			for _, c := range t.children[u] {
+				drop(c)
+			}
+		}
+		leaves, next = next, leaves
+	}
+	t.leaves, t.next = leaves, next
+	c1, c2 = -1, -1
+	for u := 0; u < n; u++ {
+		if !t.removed[u] {
+			if c1 < 0 {
+				c1 = u
+			} else {
+				c2 = u
+			}
+		}
+	}
+	return c1, c2
+}
+
+// ahuAut returns the AHU encoding of the subtree rooted at u with parent p
+// together with the order of the rooted subtree's automorphism group:
+// the product over child-subtree multiplicity groups of mult! times each
+// child's own rooted automorphism count.
+func (t *levelTree) ahuAut(u, p int) (string, int64) {
+	var encs []string
+	aut := int64(1)
+	visit := func(v int) {
+		e, a := t.ahuAut(v, u)
+		encs = append(encs, e)
+		aut *= a
+	}
+	if q := t.parent[u]; q >= 0 && q != p {
+		visit(q)
+	}
+	for _, c := range t.children[u] {
+		if c != p {
+			visit(c)
+		}
+	}
+	sort.Strings(encs)
+	run := 1
+	for i := 1; i <= len(encs); i++ {
+		if i < len(encs) && encs[i] == encs[i-1] {
+			run++
+			continue
+		}
+		aut *= factorial(run)
+		run = 1
+	}
+	return "(" + strings.Join(encs, "") + ")", aut
+}
+
+// freeKeyAut returns the loaded tree's FreeTreeKey together with the order
+// of its automorphism group. A unicentral tree's automorphisms fix the
+// center; a bicentral tree's fix or swap the center edge, and the swap
+// exists exactly when the two halves are isomorphic as rooted trees.
+func (t *levelTree) freeKeyAut() (string, int64) {
+	c1, c2 := t.centers()
+	if c2 < 0 {
+		return t.ahuAut(c1, -1)
+	}
+	e1, _ := t.ahuAut(c1, -1)
+	e2, _ := t.ahuAut(c2, -1)
+	key := e1
+	if e2 < e1 {
+		key = e2
+	}
+	h1, a1 := t.ahuAut(c1, c2)
+	h2, a2 := t.ahuAut(c2, c1)
+	aut := a1 * a2
+	if h1 == h2 {
+		aut *= 2
+	}
+	return key, aut
 }
 
 // FreeTreeKey returns a canonical string for a free tree: the AHU encoding

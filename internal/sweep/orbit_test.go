@@ -1,0 +1,34 @@
+package sweep
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+)
+
+// TestResultOrbits checks that a sweep carries the enumeration's orbit
+// multiplicities: one entry per graph class, summing to the number of
+// connected labeled graphs (n=5: 728, OEIS A001187) — the labeled work the
+// symmetry pruning folded away.
+func TestResultOrbits(t *testing.T) {
+	res, err := Run(context.Background(), Options{
+		N:        5,
+		Alphas:   []game.Alpha{game.A(2)},
+		Concepts: []eq.Concept{eq.PS},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Orbits) != res.Graphs {
+		t.Fatalf("%d orbit entries for %d graphs", len(res.Orbits), res.Graphs)
+	}
+	var sum int64
+	for _, o := range res.Orbits {
+		sum += o
+	}
+	if sum != 728 {
+		t.Errorf("orbit sum %d, want 728 connected labeled graphs on 5 nodes", sum)
+	}
+}

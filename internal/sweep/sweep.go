@@ -22,6 +22,14 @@
 //     them; the differential tests pin cached and parallel sweeps to the
 //     sequential checkers bit for bit.
 //
+// The enumeration feeding the grid is symmetry-pruned (graph.AllClasses):
+// non-minimal labelings are rejected by an early-aborting automorphism
+// search instead of being canonicalized and deduplicated, so each
+// isomorphism class is canonicalized exactly once and its orbit size is
+// reported in Result.Orbits. Checks run on per-worker eq.Evaluators over
+// the bitset adjacency kernel, which allocate nothing per verdict at sweep
+// sizes.
+//
 // Workers claim tasks from a shared atomic counter — idle workers steal the
 // next undone (α, graph) pair, so a single expensive BSE instance cannot
 // stall the rest of the grid behind a static partition.
@@ -136,6 +144,11 @@ type Result struct {
 	// order: Items[ai*Graphs+gi] is graph gi at Alphas[ai], with graphs in
 	// enumeration order.
 	Items []Item
+	// Orbits holds each enumerated class's orbit size n!/|Aut| — the number
+	// of labeled graphs the symmetry-pruned enumeration folded into the
+	// representative — indexed like Item.GraphIndex. It is diagnostic and
+	// not part of the serialized result.
+	Orbits []int64
 	// Completed counts the tasks that finished. It equals len(Items)
 	// unless the sweep was cancelled, in which case the unfinished entries
 	// of Items are zero values.
@@ -186,37 +199,40 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		res.Workers = runtime.GOMAXPROCS(0)
 	}
 
-	// Materialize the isomorphism-free stream once; the per-graph canonical
-	// keys come for free from the enumeration's own reduction. The iterator
-	// is polled against ctx so a cancelled sweep stops enumerating too.
-	var stream iter.Seq2[*graph.Graph, string]
+	// Materialize the isomorphism-free stream once; the per-class canonical
+	// keys and orbit sizes come for free from the enumeration's own
+	// symmetry pruning, which skips non-minimal labelings without
+	// canonicalizing them. The iterator is polled against ctx so a
+	// cancelled sweep stops enumerating too.
+	var stream iter.Seq2[*graph.Graph, graph.Class]
 	switch opts.Source {
 	case Graphs:
-		stream = graph.All(opts.N, graph.EnumOptions{
+		stream = graph.AllClasses(opts.N, graph.EnumOptions{
 			ConnectedOnly: true,
 			UpToIso:       true,
 			MaxEdges:      -1,
 		})
 	case Trees:
-		stream = graph.AllFreeTrees(opts.N)
+		stream = graph.AllFreeTreeClasses(opts.N)
 	default:
 		return nil, fmt.Errorf("sweep: unknown source %v", opts.Source)
 	}
 	var graphs []*graph.Graph
 	var keys []string
-	for g, key := range stream {
+	for g, cl := range stream {
 		if ctx.Err() != nil {
 			break
 		}
 		graphs = append(graphs, g)
-		keys = append(keys, key)
+		keys = append(keys, cl.Key)
+		res.Orbits = append(res.Orbits, cl.Orbit)
 	}
 	res.Graphs = len(graphs)
 	res.Items = make([]Item, len(graphs)*len(opts.Alphas))
 	if err := ctx.Err(); err != nil {
 		// Cancelled during enumeration: the grid is unreliable, report it
 		// as an empty partial result.
-		res.Graphs, res.Items = 0, nil
+		res.Graphs, res.Items, res.Orbits = 0, nil, nil
 		return res, err
 	}
 
@@ -254,13 +270,16 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 					it.FromCache = true
 				} else {
 					// Evaluate on a private clone: checkers mutate the
-					// graph while exploring moves.
+					// graph while exploring moves. Bind computes the
+					// baseline agent costs once for the whole concept
+					// grid of the task.
 					h := g.Clone()
+					ev.Bind(games[ai], h)
 					for i, concept := range opts.Concepts {
 						if missing&(1<<i) == 0 {
 							continue
 						}
-						if ev.Check(games[ai], h, concept).Stable {
+						if ev.CheckBound(concept).Stable {
 							vec |= 1 << i
 						}
 					}
@@ -270,7 +289,10 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 				}
 				it.Vector = vec
 				if opts.Rho {
-					it.Rho = games[ai].Rho(g)
+					// The evaluator's scratch-buffer ρ is bit-identical to
+					// games[ai].Rho(g); g is only read, so sharing it
+					// across workers is safe.
+					it.Rho = ev.Rho(games[ai], g)
 				}
 				completions <- completion{t, it}
 			}
