@@ -286,3 +286,39 @@ func BenchmarkSweepLatticeN6_WarmCache(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSweepGridScaling pins the O(1)-per-α claim of the certificate
+// engine: the same n=5 classes swept cold (fresh cache) at 4, 16 and 64
+// grid points must cost essentially the same, because per-class
+// equilibrium work is one certificate per concept regardless of how many
+// prices the grid reads off it. The CI benchmark-regression gate watches
+// all three; G=64 staying within 2× of G=4 is the acceptance bar.
+
+func benchSweepGrid(b *testing.B, points int) {
+	b.Helper()
+	alphas := make([]bncg.Alpha, points)
+	for k := 1; k <= points; k++ {
+		alphas[k-1] = bncg.Alpha2(int64(k), 2)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := bncg.RunSweep(context.Background(), bncg.SweepOptions{
+			N:        5,
+			Alphas:   alphas,
+			Concepts: bncg.Concepts(),
+			Cache:    bncg.NewSweepCache(),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Graphs != 21 {
+			b.Fatalf("enumerated %d graph classes, want 21", res.Graphs)
+		}
+		if want := int64(21 * len(res.Concepts)); res.Certified != want {
+			b.Fatalf("certified %d, want one per (class, concept) = %d", res.Certified, want)
+		}
+	}
+}
+
+func BenchmarkSweepGridScaling_G4(b *testing.B)  { benchSweepGrid(b, 4) }
+func BenchmarkSweepGridScaling_G16(b *testing.B) { benchSweepGrid(b, 16) }
+func BenchmarkSweepGridScaling_G64(b *testing.B) { benchSweepGrid(b, 64) }

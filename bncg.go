@@ -249,6 +249,44 @@ var (
 	ResetSharedSweepCache = sweep.ResetShared
 )
 
+// Parametric α-interval certificates (v5): one stability pass per state
+// answers every edge price.
+type (
+	// AlphaSet is the exact set of edge prices at which one state is
+	// stable for one concept — a sorted union of disjoint rational
+	// intervals over [0, ∞) with an O(log B) Contains query, exact
+	// Breakpoints, and a stable string form.
+	AlphaSet = eq.AlphaSet
+	// AlphaInterval is one interval of an AlphaSet, with open/closed
+	// endpoint flags and an optional +∞ upper bound.
+	AlphaInterval = eq.AlphaInterval
+	// AlphaRat is an exact rational α-axis endpoint (or +∞).
+	AlphaRat = eq.Rat
+	// SweepConceptCritical is one concept's exact critical-price row in
+	// SweepResult.Critical: the sorted rational α values at which any
+	// enumerated class's verdict flips.
+	SweepConceptCritical = sweep.ConceptCritical
+	// StoreCertRecord is one persisted certificate; StoreInterval its
+	// interval form. One certificate record subsumes a whole per-α row of
+	// StoreRecord verdicts (VerdictStore.Compact folds them).
+	StoreCertRecord = store.CertRecord
+	// SweepCertKey identifies a memoized certificate: canonical form and
+	// concept — no price, that is the point.
+	SweepCertKey = sweep.CertKey
+)
+
+var (
+	// Certify computes the exact stable-α set of a state for a concept in
+	// one deviation pass; Evaluator.Certify/CertifyBound are the reusable
+	// hot-path forms the sweep engine runs on.
+	Certify = eq.Certify
+	// FullAlphaSet is [0, ∞): stable at every price.
+	FullAlphaSet = eq.FullAlphaSet
+	// AlphaSetOf validates and builds an AlphaSet from sorted disjoint
+	// intervals (the persistence path).
+	AlphaSetOf = eq.AlphaSetOf
+)
+
 // Iterator enumeration (v2). Both iterators support early break, which
 // stops the underlying generation immediately.
 var (

@@ -251,7 +251,11 @@ func compareTrajectories(w io.Writer, oldPath, newPath string, threshold float64
 		seen[name] = true
 		or, ok := oldBy[name]
 		if !ok {
-			fmt.Fprintf(w, "%s: new benchmark (%.0f ns/op, %d allocs/op)\n", name, nr.NsPerOp, nr.AllocsPerOp)
+			// Present only in the new run: warn and skip — a freshly added
+			// benchmark has no baseline to regress against, and it must
+			// neither crash the gate nor silently count as a pass.
+			fmt.Fprintf(w, "warning: %s: new benchmark, no baseline — skipped (%.0f ns/op, %d allocs/op)\n",
+				name, nr.NsPerOp, nr.AllocsPerOp)
 			continue
 		}
 		bad := false
@@ -287,7 +291,10 @@ func compareTrajectories(w io.Writer, oldPath, newPath string, threshold float64
 	}
 	for _, or := range oldRun.Results {
 		if name := baseName(or.Name); !seen[name] {
-			fmt.Fprintf(w, "%s: dropped from the new run\n", name)
+			// Present only in the old run: warn and skip — a retired
+			// benchmark cannot regress, but its disappearance should be
+			// visible in the gate's output, not silent.
+			fmt.Fprintf(w, "warning: %s: dropped from the new run — skipped\n", name)
 		}
 	}
 	return failures, nil

@@ -242,3 +242,62 @@ func TestCompareAgainstCommittedTrajectory(t *testing.T) {
 		t.Fatalf("self-comparison failed:\n%s", buf.String())
 	}
 }
+
+// TestCompareWarnsOnBenchmarkOnlyInNew: a benchmark present in the new
+// run but absent from the baseline is warned about and skipped — exit
+// success, no regression counted, no crash.
+func TestCompareWarnsOnBenchmarkOnlyInNew(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeTrajectory(t, oldPath, Document{Results: []Result{
+		{Name: "BenchmarkShared-1", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1},
+	}})
+	writeTrajectory(t, newPath, Document{Results: []Result{
+		{Name: "BenchmarkShared-8", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "BenchmarkFreshlyAdded-8", Iterations: 1, NsPerOp: 1e9, AllocsPerOp: 1e6},
+	}})
+	var buf strings.Builder
+	failures, err := compareTrajectories(&buf, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if failures != 0 {
+		t.Fatalf("new-only benchmark counted as regression: %q", out)
+	}
+	if !strings.Contains(out, "warning: BenchmarkFreshlyAdded: new benchmark, no baseline — skipped") {
+		t.Fatalf("missing new-only warning: %q", out)
+	}
+	if !strings.Contains(out, "BenchmarkShared: ns/op") {
+		t.Fatalf("shared benchmark not compared: %q", out)
+	}
+}
+
+// TestCompareWarnsOnBenchmarkOnlyInOld: the reverse direction — a
+// benchmark dropped from the new run is warned about and skipped, never
+// failed on and never silently ignored.
+func TestCompareWarnsOnBenchmarkOnlyInOld(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	writeTrajectory(t, oldPath, Document{Results: []Result{
+		{Name: "BenchmarkShared-1", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "BenchmarkRetired-1", Iterations: 1, NsPerOp: 50, AllocsPerOp: 2},
+	}})
+	writeTrajectory(t, newPath, Document{Results: []Result{
+		{Name: "BenchmarkShared-8", Iterations: 1, NsPerOp: 100, AllocsPerOp: 1},
+	}})
+	var buf strings.Builder
+	failures, err := compareTrajectories(&buf, oldPath, newPath, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if failures != 0 {
+		t.Fatalf("old-only benchmark counted as regression: %q", out)
+	}
+	if !strings.Contains(out, "warning: BenchmarkRetired: dropped from the new run — skipped") {
+		t.Fatalf("missing dropped warning: %q", out)
+	}
+}

@@ -12,8 +12,10 @@
 //	bncg [-timeout <d>] cost -alpha <p[/q]> [-file <graph>]
 //	bncg [-timeout <d>] poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs] [-json]
 //	bncg [-timeout <d>] sweep [-n <nodes>] [-workers <w>] [-alphas <grid>]
-//	     [-concepts <list>] [-trees] [-rho] [-json] [-progress]
+//	     [-concepts <list>] [-trees] [-rho] [-exact] [-json] [-progress]
 //	     [-store <dir>] [-resume]
+//	bncg [-timeout <d>] critical [-n <nodes>] [-workers <w>]
+//	     [-concepts <list>] [-trees] [-json] [-store <dir>]
 //	bncg serve [-addr <host:port>] [-store <dir>] [-workers <w>]
 //	     [-max-n <n>] [-max-tree-n <n>] [-request-timeout <d>]
 //	bncg store stats|compact -dir <dir>
@@ -88,7 +90,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		defer cancel()
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, serve, store)")
+		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, critical, serve, store)")
 	}
 	switch args[0] {
 	case "list":
@@ -105,6 +107,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return runPoA(ctx, args[1:], stdout)
 	case "sweep":
 		return runSweep(ctx, args[1:], stdout)
+	case "critical":
+		return runCritical(ctx, args[1:], stdout)
 	case "serve":
 		return runServe(ctx, args[1:], stdout)
 	case "store":
@@ -382,6 +386,7 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
 	trees := fs.Bool("trees", false, "sweep free trees instead of connected graphs")
 	rho := fs.Bool("rho", false, "also compute the social cost ratio ρ per graph")
+	exact := fs.Bool("exact", false, "append the exact critical-α report: the rational thresholds where verdicts flip")
 	asJSON := fs.Bool("json", false, "emit the full result as JSON instead of the text report")
 	progress := fs.Bool("progress", false, "report task completion and cache stats on stderr")
 	storeDir := fs.String("store", "", "verdict store directory: warm-start the cache, persist new verdicts, checkpoint progress")
@@ -520,6 +525,11 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 	} else {
 		fmt.Fprint(stdout, res.Report())
+		if *exact {
+			// The certificates behind the grid answer the whole α-axis;
+			// print the exact thresholds, not just the sampled verdicts.
+			fmt.Fprint(stdout, res.CriticalReport())
+		}
 		fmt.Fprintf(stdout, "workers=%d cache: %d hits, %d misses\n", res.Workers, res.Hits, res.Misses)
 	}
 	if *progress {
@@ -530,6 +540,82 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("interrupted with %d of %d tasks done: %w", res.Completed, len(res.Items), err)
 	}
+	return nil
+}
+
+// runCritical is the dedicated exact-threshold workload: certify every
+// enumerated class once per concept and report, per concept, the rational
+// α breakpoints at which any verdict flips, plus the stable-class counts
+// on every region between (and at) them. No α grid exists because none is
+// needed: the certificates answer the whole axis.
+func runCritical(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("critical", flag.ContinueOnError)
+	n := fs.Int("n", 5, "node count")
+	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
+	trees := fs.Bool("trees", false, "analyze free trees instead of connected graphs")
+	asJSON := fs.Bool("json", false, "emit the analysis as JSON instead of text")
+	storeDir := fs.String("store", "", "verdict store directory: warm-start the certificate cache, persist new certificates")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	concepts := bncg.Concepts()
+	if *conceptsStr != "all" {
+		concepts = concepts[:0]
+		for _, s := range strings.Split(*conceptsStr, ",") {
+			c, err := parseConcept(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			concepts = append(concepts, c)
+		}
+	}
+	source := bncg.SweepGraphs
+	if *trees {
+		source = bncg.SweepTrees
+	}
+	cache := bncg.SharedSweepCache()
+	if *storeDir != "" {
+		st, err := bncg.OpenStore(*storeDir, bncg.StoreOptions{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		defer cache.Persist(nil)
+		cache.WarmStart(st)
+		cache.Persist(st)
+	}
+	res, err := bncg.RunSweep(ctx, bncg.SweepOptions{
+		N: *n,
+		// A single-point grid satisfies the engine's options contract; the
+		// certificates it computes cover every α.
+		Alphas:   []bncg.Alpha{bncg.AlphaInt(1)},
+		Concepts: concepts,
+		Workers:  *workers,
+		Source:   source,
+		Cache:    cache,
+	})
+	if err != nil {
+		if interrupted(err) {
+			return fmt.Errorf("interrupted with %d of %d classes done: %w", res.Completed, len(res.Items), err)
+		}
+		return err
+	}
+	if *asJSON {
+		// res.Critical serializes through sweep.ConceptCritical.MarshalJSON,
+		// the single schema definition shared with /v1/critical and the
+		// sweep JSON.
+		out := struct {
+			N        int                         `json:"n"`
+			Source   string                      `json:"source"`
+			Classes  int                         `json:"classes"`
+			Critical []bncg.SweepConceptCritical `json:"critical"`
+		}{*n, source.String(), res.Graphs, res.Critical}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprint(stdout, res.CriticalReport())
 	return nil
 }
 

@@ -441,14 +441,19 @@ func TestStoreCommand(t *testing.T) {
 		t.Fatal(err)
 	}
 	var stats struct {
-		Records  int   `json:"records"`
-		Segments int   `json:"segments"`
-		Bytes    int64 `json:"disk_bytes"`
+		Records      int   `json:"records"`
+		Verdicts     int   `json:"verdict_records"`
+		Certificates int   `json:"certificate_records"`
+		Segments     int   `json:"segments"`
+		Bytes        int64 `json:"disk_bytes"`
 	}
 	if err := json.Unmarshal([]byte(out), &stats); err != nil {
 		t.Fatalf("stats output: %v\n%s", err, out)
 	}
-	if stats.Records != 6*2*2 || stats.Segments == 0 || stats.Bytes == 0 {
+	// The certificate engine persists one record per (class, concept) —
+	// 6 classes × 2 concepts — regardless of the two-point α grid.
+	if stats.Records != 6*2 || stats.Certificates != 6*2 || stats.Verdicts != 0 ||
+		stats.Segments == 0 || stats.Bytes == 0 {
 		t.Fatalf("unexpected stats: %+v", stats)
 	}
 	out, err = runCLI(t, "", "store", "compact", "-dir", dir)
@@ -592,5 +597,118 @@ func TestSweepStoreForeignCheckpointGuard(t *testing.T) {
 	var cp bncg.SweepCheckpoint
 	if ok, err := st.LoadCheckpoint(&cp); err != nil || !ok || cp.N != 6 {
 		t.Fatalf("guard damaged the checkpoint: %v %v %+v", ok, err, cp)
+	}
+}
+
+// TestCriticalCommandByteStable: `bncg critical` run twice (with the
+// shared cache wiped in between, so the second run re-certifies from
+// scratch) produces byte-identical output, and its thresholds agree with
+// per-α sweep verdicts on every side of each breakpoint.
+func TestCriticalCommandByteStable(t *testing.T) {
+	bncg.ResetSharedSweepCache()
+	out1, err := runCLI(t, "", "critical", "-n", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bncg.ResetSharedSweepCache()
+	out2, err := runCLI(t, "", "critical", "-n", "4", "-workers", "3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out1 != out2 {
+		t.Fatalf("critical runs differ:\n%s\nvs\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "breakpoints") || !strings.Contains(out1, "stable classes") {
+		t.Fatalf("critical output malformed:\n%s", out1)
+	}
+
+	// JSON form carries the exact rational thresholds.
+	bncg.ResetSharedSweepCache()
+	jout, err := runCLI(t, "", "critical", "-n", "4", "-json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		N        int    `json:"n"`
+		Source   string `json:"source"`
+		Classes  int    `json:"classes"`
+		Critical []struct {
+			Concept string   `json:"concept"`
+			Alphas  []string `json:"alphas"`
+		} `json:"critical"`
+	}
+	if err := json.Unmarshal([]byte(jout), &res); err != nil {
+		t.Fatalf("critical -json output: %v\n%s", err, jout)
+	}
+	if res.N != 4 || res.Classes != 6 || len(res.Critical) != 9 {
+		t.Fatalf("unexpected critical JSON: %+v", res)
+	}
+
+	// Exactness: the RE row reports the clique threshold α = 1; the sweep
+	// verdict counts must differ across it and match on it.
+	reRow := res.Critical[0]
+	if reRow.Concept != "RE" || len(reRow.Alphas) == 0 || reRow.Alphas[0] != "1" {
+		t.Fatalf("RE critical row misses the α=1 threshold: %+v", reRow)
+	}
+	sweepOut, err := runCLI(t, "", "sweep", "-n", "4", "-alphas", "1/2,1,3/2", "-concepts", "RE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"     1/2      6", "       1      6", "     3/2      3"} {
+		if !strings.Contains(sweepOut, want) {
+			t.Fatalf("sweep verdicts around the RE threshold missing %q:\n%s", want, sweepOut)
+		}
+	}
+}
+
+// TestSweepExactFlag: `sweep -exact` appends the critical report to the
+// standard table, byte-stable across worker counts.
+func TestSweepExactFlag(t *testing.T) {
+	bncg.ResetSharedSweepCache()
+	out1, err := runCLI(t, "", "sweep", "-n", "4", "-exact", "-workers", "1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bncg.ResetSharedSweepCache()
+	out2, err := runCLI(t, "", "sweep", "-n", "4", "-exact", "-workers", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := func(s string) string { return s[:strings.LastIndex(s, "workers=")] }
+	if table(out1) != table(out2) {
+		t.Fatalf("sweep -exact reports differ across worker counts:\n%s\nvs\n%s", out1, out2)
+	}
+	if !strings.Contains(out1, "sweep n=4") || !strings.Contains(out1, "critical n=4") {
+		t.Fatalf("sweep -exact output missing a section:\n%s", out1)
+	}
+	// The critical section matches the dedicated subcommand byte for byte.
+	bncg.ResetSharedSweepCache()
+	crit, err := runCLI(t, "", "critical", "-n", "4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out1, crit) {
+		t.Fatalf("sweep -exact critical section differs from `bncg critical`:\n%s\nvs\n%s", out1, crit)
+	}
+}
+
+// TestCriticalCommandStore: `critical -store` persists certificates that a
+// later sweep over any grid is fully served from.
+func TestCriticalCommandStore(t *testing.T) {
+	dir := t.TempDir()
+	bncg.ResetSharedSweepCache()
+	if _, err := runCLI(t, "", "critical", "-n", "4", "-store", dir); err != nil {
+		t.Fatal(err)
+	}
+	bncg.ResetSharedSweepCache()
+	// A dense shifted grid no prior run ever touched: every verdict must
+	// still come from the persisted certificates.
+	out, err := runCLI(t, "", "sweep", "-n", "4", "-alphas", "1/3,2/3,4/3,7/3,11/3", "-store", dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := cacheLine(t, out)
+	if misses != 0 || hits == 0 {
+		t.Fatalf("dense-grid sweep not served from certificates: %d hits, %d misses", hits, misses)
 	}
 }

@@ -119,8 +119,45 @@
 //     threshold, so ns/op and allocs/op regressions on the sweep and
 //     store hot paths cannot land silently.
 //
+// # The v5 engine: parametric α-interval certificates
+//
+// Every verdict in the paper's Table 1 is a threshold phenomenon: costs
+// compare by the α-linear form num·Buy + den·Dist, so each deviation
+// improves its actors on exactly one rational α-interval (breakpoint
+// α* = −ΔDist/ΔBuy), and a state's stable-α set is the complement of a
+// finite interval union. v5 computes that object directly:
+//
+//   - Certify (and Evaluator.Certify/CertifyBound) run the deviation
+//     scans once, collecting each deviation's improving interval in exact
+//     int64 rational arithmetic, and return an AlphaSet: sorted disjoint
+//     intervals over [0, ∞) with open/closed endpoints (stable sets are
+//     closed at breakpoints — indifference is stability — and may be
+//     degenerate single prices), an O(log B) Contains query, and exact
+//     Breakpoints. A scan aborts early once the improving union covers
+//     the whole axis.
+//   - RunSweep is certificate-backed: the task unit is one graph class,
+//     one certificate per concept answers the entire α-grid, and
+//     per-class equilibrium work is independent of grid density
+//     (BenchmarkSweepGridScaling: a 64-point cold grid costs the same as
+//     a 4-point one). SweepResult gains Certs, Certified and Critical —
+//     the exact rational thresholds at which each concept's Table 1 row
+//     flips — rendered by Result.CriticalReport, `bncg sweep -exact`, the
+//     new `bncg critical` subcommand and the /v1/critical endpoint.
+//   - The verdict store persists certificate records alongside legacy
+//     per-α verdicts (one record per class and concept instead of one per
+//     grid point); WarmStart replays both — certificates warm the sweep
+//     engine, per-α verdicts warm /v1/check (sweeps over a pre-v5 store
+//     re-certify once, then run from certificates) — `store stats`
+//     reports counts per record type, and Compact folds verdict rows
+//     subsumed by a certificate. /v1/check answers any α — gridded or
+//     not — from a cached certificate.
+//   - FuzzCertificateAgreement pins Certify(...).Contains(α) to the
+//     per-α checkers over a dense rational grid including every
+//     certificate's own breakpoints and their midpoints.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the recorded reproduction results, the file format of the verdict
-// store, the NDJSON/JSON schemas of the serving endpoints, and the
-// before/after numbers of the v4 kernel.
+// store, the NDJSON/JSON schemas of the serving endpoints, the
+// before/after numbers of the v4 kernel, and the exact critical-α tables
+// of the v5 certificate engine.
 package bncg

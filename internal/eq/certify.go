@@ -1,0 +1,412 @@
+package eq
+
+import (
+	"fmt"
+
+	"repro/internal/game"
+	"repro/internal/graph"
+)
+
+// This file implements the parametric counterparts of the exact checkers:
+// one certification pass over a state's deviation space yields the exact
+// set of edge prices at which the state is stable — an AlphaSet — instead
+// of one verdict at one α. The scans mirror the per-α checkers deviation
+// for deviation (the differential and fuzz harnesses pin the agreement),
+// but instead of testing Cost.Less at the bound α they compute each
+// deviation's improving α-interval from the exact cost deltas and
+// accumulate the union; the stable set is the complement.
+//
+// Two early exits keep certification competitive with a single per-α
+// check:
+//
+//   - per deviation, the running intersection of the actors' improving
+//     intervals is abandoned as soon as it is empty (the analogue of the
+//     checkers' allImprove early exit);
+//   - per scan, the whole search aborts once the accumulated improving
+//     union covers [0, ∞) — a state unstable at every price certifies as
+//     fast as the per-α checker refutes it.
+
+// Certify returns the exact set of edge prices at which g is stable for
+// concept c. The α carried by gm is irrelevant — only the node count is
+// read — because the certificate covers the whole axis; it exists in the
+// signature so Certify mirrors Check. Like Check it allocates fresh
+// buffers per call; hot loops use Evaluator.Certify or
+// Evaluator.CertifyBound.
+func Certify(gm game.Game, g *graph.Graph, c Concept) AlphaSet {
+	var ch checker
+	ch.reset(gm, g)
+	return ch.certify(c)
+}
+
+// Certify is the evaluator counterpart of the package-level Certify,
+// reusing the evaluator's BFS, baseline and scan buffers. The baseline
+// agent costs are α-independent (they are exact (unreachable, buy, dist)
+// triples), so one Bind serves both CheckBound and CertifyBound.
+func (ev *Evaluator) Certify(gm game.Game, g *graph.Graph, c Concept) AlphaSet {
+	ev.c.reset(gm, g)
+	return ev.c.certify(c)
+}
+
+// CertifyBound certifies concept c on the state bound by the last Bind.
+// It must not be called before Bind. Every scan restores the graph before
+// returning, so CheckBound and CertifyBound can interleave freely on one
+// bound state.
+func (ev *Evaluator) CertifyBound(c Concept) AlphaSet { return ev.c.certify(c) }
+
+// certify dispatches to the per-concept certificate scan and folds the
+// accumulated improving union into the stable AlphaSet.
+func (c *checker) certify(concept Concept) AlphaSet {
+	c.union = c.union[:0]
+	c.covered = false
+	switch concept {
+	case RE:
+		c.certRE()
+	case BAE:
+		c.certBAE()
+	case PS:
+		c.certRE()
+		c.certBAE()
+	case BSwE:
+		c.certBSwE()
+	case BGE:
+		c.certRE()
+		c.certBAE()
+		c.certBSwE()
+	case BNE:
+		c.certBNE()
+	case TwoBSE:
+		c.certKBSE(2)
+	case ThreeBSE:
+		c.certKBSE(3)
+	case BSE:
+		c.certKBSE(c.g.N())
+	default:
+		panic(fmt.Sprintf("eq: unknown concept %d", int(concept)))
+	}
+	return complementAxis(c.union)
+}
+
+// improvingIntervalOf returns the exact α-interval on which `after` is
+// strictly cheaper than `before` under the lexicographic cost order, and
+// whether that interval is non-empty. With equal reachability the
+// comparison is num·ΔBuy + den·ΔDist < 0, which flips at the single
+// rational breakpoint α* = −ΔDist/ΔBuy; unequal reachability decides
+// independently of α (the paper's M > α·n³ disconnection price).
+func improvingIntervalOf(before, after game.Cost) (AlphaInterval, bool) {
+	if after.Unreachable != before.Unreachable {
+		if after.Unreachable < before.Unreachable {
+			return fullAxis(), true
+		}
+		return AlphaInterval{}, false
+	}
+	dBuy := after.Buy - before.Buy
+	dDist := after.Dist - before.Dist
+	switch {
+	case dBuy == 0:
+		if dDist < 0 {
+			return fullAxis(), true
+		}
+		return AlphaInterval{}, false
+	case dBuy > 0:
+		// Improves iff α < −ΔDist/ΔBuy: a half-open prefix of the axis.
+		if dDist >= 0 {
+			return AlphaInterval{}, false // breakpoint at or below 0
+		}
+		return AlphaInterval{Lo: RatOf(0, 1), Hi: RatOf(-dDist, dBuy), HiOpen: true}, true
+	default:
+		// Improves iff α > ΔDist/(−ΔBuy): an open suffix of the axis.
+		if dDist < 0 {
+			return fullAxis(), true // breakpoint below 0
+		}
+		return AlphaInterval{Lo: RatOf(dDist, -dBuy), LoOpen: true, Hi: RatInf()}, true
+	}
+}
+
+// improvingInterval returns agent u's improving interval in the current
+// (mutated) graph against the bound baseline.
+func (c *checker) improvingInterval(u int) (AlphaInterval, bool) {
+	return improvingIntervalOf(c.base[u], c.cost(u))
+}
+
+// The deviation accumulation protocol of the certificate scans — a
+// begin/actor/commit triple on plain checker fields rather than closures,
+// so the per-deviation hot path (run millions of times per sweep)
+// allocates nothing:
+//
+//	c.devBegin()
+//	c.devActor(u) && c.devActor(v) ...   // false once the intersection dies
+//	done := c.devCommit()                // merge; true once [0, ∞) is covered
+
+// devBegin starts a new deviation with the whole axis as the running
+// intersection of the actors' improving intervals.
+func (c *checker) devBegin() {
+	c.devIval = fullAxis()
+	c.devAlive = true
+}
+
+// devActor narrows the running intersection by agent u's improving
+// interval in the current (mutated) graph. It reports whether the
+// deviation can still improve anyone — the certificate analogue of
+// allImprove's early exit.
+func (c *checker) devActor(u int) bool {
+	a, ok := c.improvingInterval(u)
+	if !ok {
+		c.devAlive = false
+		return false
+	}
+	c.devIval = intersect(c.devIval, a)
+	if c.devIval.empty() {
+		c.devAlive = false
+		return false
+	}
+	return true
+}
+
+// devCommit merges a still-alive deviation's improving interval into the
+// union and reports whether the union now covers the whole axis, the
+// scans' abort signal.
+func (c *checker) devCommit() bool {
+	if c.devAlive {
+		c.union = unionAdd(c.union, c.devIval)
+		if coversAxis(c.union) {
+			c.covered = true
+		}
+	}
+	return c.covered
+}
+
+// accumulate1 and accumulate2 are the fixed-arity conveniences of the
+// single-agent and pairwise scans.
+func (c *checker) accumulate1(u int) bool {
+	c.devBegin()
+	c.devActor(u)
+	return c.devCommit()
+}
+
+func (c *checker) accumulate2(u, v int) bool {
+	c.devBegin()
+	if c.devActor(u) {
+		c.devActor(v)
+	}
+	return c.devCommit()
+}
+
+// certRE scans the single-edge removals (both directions, matching the
+// checker's move order).
+func (c *checker) certRE() {
+	for u := 0; u < c.g.N() && !c.covered; u++ {
+		nb := c.snapshotNeighbors(u)
+		for _, v := range nb {
+			if v < u {
+				continue
+			}
+			c.g.RemoveEdge(u, v)
+			done := c.accumulate1(u) || c.accumulate1(v)
+			c.g.AddEdge(u, v)
+			if done {
+				return
+			}
+		}
+	}
+}
+
+// certBAE scans the bilateral single-edge additions.
+func (c *checker) certBAE() {
+	for u := 0; u < c.g.N() && !c.covered; u++ {
+		for v := u + 1; v < c.g.N(); v++ {
+			if c.g.HasEdge(u, v) {
+				continue
+			}
+			c.g.AddEdge(u, v)
+			done := c.accumulate2(u, v)
+			c.g.RemoveEdge(u, v)
+			if done {
+				return
+			}
+		}
+	}
+}
+
+// certBSwE scans the edge swaps uv → uw (actors u and w).
+func (c *checker) certBSwE() {
+	for u := 0; u < c.g.N() && !c.covered; u++ {
+		nb := c.snapshotNeighbors(u)
+		for _, v := range nb {
+			for w := 0; w < c.g.N(); w++ {
+				if w == u || w == v || c.g.HasEdge(u, w) {
+					continue
+				}
+				c.g.RemoveEdge(u, v)
+				c.g.AddEdge(u, w)
+				done := c.accumulate2(u, w)
+				c.g.RemoveEdge(u, w)
+				c.g.AddEdge(u, v)
+				if done {
+					return
+				}
+			}
+		}
+	}
+}
+
+// certBNE scans every neighborhood change (drop any incident subset, add
+// any non-neighbor subset; actors are u and the new partners).
+func (c *checker) certBNE() {
+	n := c.g.N()
+	for u := 0; u < n && !c.covered; u++ {
+		nb := c.snapshotNeighbors(u)
+		nn := c.nnbuf[:0]
+		for v := 0; v < n; v++ {
+			if v != u && !c.g.HasEdge(u, v) {
+				nn = append(nn, v)
+			}
+		}
+		c.nnbuf = nn
+		for rMask := 0; rMask < 1<<len(nb) && !c.covered; rMask++ {
+			for aMask := 0; aMask < 1<<len(nn); aMask++ {
+				if rMask == 0 && aMask == 0 {
+					continue
+				}
+				for i, v := range nb {
+					if rMask&(1<<i) != 0 {
+						c.g.RemoveEdge(u, v)
+					}
+				}
+				for i, w := range nn {
+					if aMask&(1<<i) != 0 {
+						c.g.AddEdge(u, w)
+					}
+				}
+				c.devBegin()
+				if c.devActor(u) {
+					for i, w := range nn {
+						if aMask&(1<<i) != 0 && !c.devActor(w) {
+							break
+						}
+					}
+				}
+				done := c.devCommit()
+				for i, w := range nn {
+					if aMask&(1<<i) != 0 {
+						c.g.RemoveEdge(u, w)
+					}
+				}
+				for i, v := range nb {
+					if rMask&(1<<i) != 0 {
+						c.g.AddEdge(u, v)
+					}
+				}
+				if done {
+					return
+				}
+			}
+		}
+	}
+}
+
+// certKBSE scans every coalition of size at most k and every legal
+// (removals, additions) move, mirroring checkKBSE's enumeration.
+func (c *checker) certKBSE(k int) {
+	if k < 1 {
+		return
+	}
+	if k > c.g.N() {
+		k = c.g.N()
+	}
+	c.members = c.members[:0]
+	c.certCoalitions(0, k)
+}
+
+func (c *checker) certCoalitions(from, maxK int) {
+	if c.covered {
+		return
+	}
+	if len(c.members) > 0 {
+		c.certCoalitionMoves()
+		if c.covered {
+			return
+		}
+	}
+	if len(c.members) == maxK {
+		return
+	}
+	for v := from; v < c.g.N(); v++ {
+		c.members = append(c.members, v)
+		c.certCoalitions(v+1, maxK)
+		c.members = c.members[:len(c.members)-1]
+		if c.covered {
+			return
+		}
+	}
+}
+
+func (c *checker) certCoalitionMoves() {
+	n := c.g.N()
+	if cap(c.inCoal) < n {
+		c.inCoal = make([]bool, n)
+	}
+	inCoal := c.inCoal[:n]
+	for i := range inCoal {
+		inCoal[i] = false
+	}
+	for _, u := range c.members {
+		inCoal[u] = true
+	}
+	removable := c.removable[:0]
+	for u := 0; u < n; u++ {
+		for _, v := range c.g.Neighbors(u) {
+			if u < v && (inCoal[u] || inCoal[v]) {
+				removable = append(removable, graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	addable := c.addable[:0]
+	for i := 0; i < len(c.members); i++ {
+		for j := i + 1; j < len(c.members); j++ {
+			if !c.g.HasEdge(c.members[i], c.members[j]) {
+				addable = append(addable, graph.Edge{U: c.members[i], V: c.members[j]})
+			}
+		}
+	}
+	c.removable, c.addable = removable, addable
+	if len(removable) > 30 || len(addable) > 30 {
+		panic("eq: coalition move space too large for exact k-BSE certification")
+	}
+	for rMask := 0; rMask < 1<<len(removable) && !c.covered; rMask++ {
+		for aMask := 0; aMask < 1<<len(addable); aMask++ {
+			if rMask == 0 && aMask == 0 {
+				continue
+			}
+			for i, e := range removable {
+				if rMask&(1<<i) != 0 {
+					c.g.RemoveEdge(e.U, e.V)
+				}
+			}
+			for i, e := range addable {
+				if aMask&(1<<i) != 0 {
+					c.g.AddEdge(e.U, e.V)
+				}
+			}
+			c.devBegin()
+			for _, u := range c.members {
+				if !c.devActor(u) {
+					break
+				}
+			}
+			done := c.devCommit()
+			for i, e := range addable {
+				if aMask&(1<<i) != 0 {
+					c.g.RemoveEdge(e.U, e.V)
+				}
+			}
+			for i, e := range removable {
+				if rMask&(1<<i) != 0 {
+					c.g.AddEdge(e.U, e.V)
+				}
+			}
+			if done {
+				return
+			}
+		}
+	}
+}

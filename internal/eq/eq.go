@@ -183,6 +183,14 @@ type checker struct {
 	inCoal    []bool
 	removable []graph.Edge
 	addable   []graph.Edge
+	// Certificate-scan state: the merged union of improving α-intervals
+	// accumulated so far, whether it already covers the whole axis (the
+	// certify early-exit), and the running intersection of the current
+	// deviation's actor intervals (see certify.go).
+	union    []AlphaInterval
+	covered  bool
+	devIval  AlphaInterval
+	devAlive bool
 }
 
 // reset points the checker at a new state and recomputes the baseline agent

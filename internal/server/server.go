@@ -14,6 +14,12 @@
 //	GET  /v1/poa?n=8&alpha=4&concept=PS[&graphs=1]
 //	     — the exhaustive Price-of-Anarchy search, deduplicated across
 //	     concurrent identical requests, as one JSON object.
+//	GET  /v1/critical?n=5[&concepts=PS,BSE][&trees=1]
+//	     — the exact critical-α analysis: per concept, the rational
+//	     breakpoints at which any class's verdict flips, with the stable
+//	     class counts on every region between (and at) them. One
+//	     certificate pass answers the whole α-axis; no grid parameter
+//	     exists because none is needed. Deduplicated like /v1/poa.
 //	POST /v1/check?alpha=3[&concept=PS][&witness=1]
 //	     — checks the graph uploaded as the request body (plain edge-list
 //	     format). Verdicts are served from the canonical-form cache when
@@ -120,6 +126,7 @@ func New(cfg Config) *Server {
 	}
 	s.mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/poa", s.handlePoA)
+	s.mux.HandleFunc("GET /v1/critical", s.handleCritical)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	return s
@@ -461,6 +468,65 @@ func (s *Server) handlePoA(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// ---- /v1/critical ----
+
+// criticalResponse rides sweep.ConceptCritical's own MarshalJSON, so the
+// HTTP schema and the CLI/sweep JSON schemas cannot drift apart.
+type criticalResponse struct {
+	N        int                     `json:"n"`
+	Source   string                  `json:"source"`
+	Classes  int                     `json:"classes"`
+	Critical []sweep.ConceptCritical `json:"critical"`
+	Report   string                  `json:"report"`
+	Shared   bool                    `json:"shared,omitempty"`
+}
+
+func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
+	trees := boolParam(r, "trees")
+	n, err := s.parseN(r, trees)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	concepts, err := parseConcepts(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	opts := sweep.Options{
+		N: n,
+		// The grid is irrelevant to certificates; one α satisfies the
+		// engine's options contract without costing anything.
+		Alphas:   []game.Alpha{game.A(1)},
+		Concepts: concepts,
+		Workers:  s.cfg.Workers,
+		Cache:    s.cfg.Cache,
+	}
+	if trees {
+		opts.Source = sweep.Trees
+	}
+	key := "critical " + sweepKey(opts)
+	val, runErr, shared := s.calls.Do(r.Context(), key, s.cfg.RequestTimeout, func(ctx context.Context) (any, error) {
+		return sweep.Run(ctx, opts)
+	})
+	if val == nil || runErr != nil {
+		if runErr == nil {
+			runErr = errors.New("critical analysis failed")
+		}
+		writeError(w, runErr)
+		return
+	}
+	res := val.(*sweep.Result)
+	writeJSON(w, criticalResponse{
+		N:        n,
+		Source:   opts.Source.String(),
+		Classes:  res.Graphs,
+		Critical: res.Critical,
+		Report:   res.CriticalReport(),
+		Shared:   shared,
+	})
+}
+
 // ---- /v1/check ----
 
 type checkVerdict struct {
@@ -524,7 +590,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 		key := sweep.Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den(), Concept: concept}
 		v := checkVerdict{Concept: concept.String()}
-		if stable, ok := s.cfg.Cache.Get(key); ok && !(wantWitness && !stable) {
+		if set, ok := s.cfg.Cache.GetCert(canon, concept); ok && !(wantWitness && !set.Contains(alpha)) {
+			// A parametric certificate answers any α, including prices no
+			// sweep ever put on a grid.
+			v.Stable, v.FromCache = set.Contains(alpha), true
+		} else if stable, ok := s.cfg.Cache.Get(key); ok && !(wantWitness && !stable) {
 			v.Stable, v.FromCache = stable, true
 		} else {
 			// Checkers mutate the graph under test; evaluate a clone.

@@ -407,10 +407,13 @@ func TestRequestValidation(t *testing.T) {
 }
 
 // TestRequestTimeout: a computation exceeding RequestTimeout ends with a
-// partial summary carrying the deadline error, not a hung stream.
+// partial summary carrying the deadline error, not a hung stream. The
+// n=6 all-concepts stream costs seconds cold (the certificate engine
+// finishes n=5 inside tens of milliseconds, too fast to outlast any
+// usable deadline), so the 50ms deadline always cuts it mid-stream.
 func TestRequestTimeout(t *testing.T) {
 	_, ts := newTestServer(t, Config{RequestTimeout: 50 * time.Millisecond, Workers: 1})
-	status, body := get(t, ts.URL+"/v1/sweep?n=5&alphas=1/2,1,3/2,2,3,5&concepts=all")
+	status, body := get(t, ts.URL+"/v1/sweep?n=6&alphas=1/2,1,3/2,2,3,5&concepts=all")
 	if status != http.StatusOK {
 		t.Fatalf("status %d", status)
 	}
@@ -418,5 +421,110 @@ func TestRequestTimeout(t *testing.T) {
 	sum := lines[len(lines)-1]
 	if sum.Type != "summary" || sum.Error == "" || sum.Completed >= sum.Total {
 		t.Fatalf("expected a partial deadline summary, got %+v", sum)
+	}
+}
+
+// TestCriticalEndpoint: /v1/critical returns the exact per-concept
+// breakpoints, agrees with the engine's own critical report, and
+// deduplicates identical requests like the other computation endpoints.
+func TestCriticalEndpoint(t *testing.T) {
+	cache := sweep.NewCache()
+	_, ts := newTestServer(t, Config{Cache: cache})
+	status, body := get(t, ts.URL+"/v1/critical?n=4&concepts=RE,BAE")
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %s", status, body)
+	}
+	var resp struct {
+		N        int    `json:"n"`
+		Source   string `json:"source"`
+		Classes  int    `json:"classes"`
+		Critical []struct {
+			Concept string   `json:"concept"`
+			Alphas  []string `json:"alphas"`
+		} `json:"critical"`
+		Report string `json:"report"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatalf("critical response not JSON: %v\n%s", err, body)
+	}
+	if resp.N != 4 || resp.Source != "graphs" || resp.Classes != 6 || len(resp.Critical) != 2 {
+		t.Fatalf("unexpected critical response: %+v", resp)
+	}
+	want, err := sweep.Run(context.Background(), sweep.Options{
+		N:        4,
+		Alphas:   []game.Alpha{game.A(1)},
+		Concepts: []eq.Concept{eq.RE, eq.BAE},
+		Cache:    cache,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Report != want.CriticalReport() {
+		t.Fatalf("report differs from the engine:\n%q\nvs\n%q", resp.Report, want.CriticalReport())
+	}
+	for i, cc := range want.Critical {
+		if resp.Critical[i].Concept != cc.Concept.String() || len(resp.Critical[i].Alphas) != len(cc.Alphas) {
+			t.Fatalf("critical row %d: %+v vs engine %+v", i, resp.Critical[i], cc)
+		}
+		for j, a := range cc.Alphas {
+			if resp.Critical[i].Alphas[j] != a.String() {
+				t.Fatalf("critical row %d breakpoint %d: %q vs %q", i, j, resp.Critical[i].Alphas[j], a)
+			}
+		}
+	}
+	// The K4 clique flips RE at exactly α = 1.
+	foundOne := false
+	for _, a := range resp.Critical[0].Alphas {
+		if a == "1" {
+			foundOne = true
+		}
+	}
+	if !foundOne {
+		t.Fatalf("RE critical row misses the clique breakpoint 1: %+v", resp.Critical[0])
+	}
+	// Caps and validation ride the shared helpers.
+	if status, _ := get(t, ts.URL+"/v1/critical?n=99"); status != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized n: status %d", status)
+	}
+	if status, _ := get(t, ts.URL+"/v1/critical?n=4&concepts=nope"); status != http.StatusBadRequest {
+		t.Fatalf("bad concept: status %d", status)
+	}
+}
+
+// TestCheckEndpointServedFromCertificate: an uploaded graph whose class
+// was certified by an earlier sweep is answered from the certificate —
+// at a price no sweep grid ever contained.
+func TestCheckEndpointServedFromCertificate(t *testing.T) {
+	cache := sweep.NewCache()
+	if _, err := sweep.Run(context.Background(), sweep.Options{
+		N:        4,
+		Alphas:   []game.Alpha{game.A(1)},
+		Concepts: []eq.Concept{eq.PS},
+		Cache:    cache,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, ts := newTestServer(t, Config{Cache: cache})
+	// α = 7/3 was never on a grid; only the certificate can answer it
+	// without recomputing.
+	resp, err := http.Post(ts.URL+"/v1/check?alpha=7/3&concept=PS", "text/plain",
+		strings.NewReader(graph.Encode(game.Star(4))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	var out struct {
+		Results []struct {
+			Concept   string `json:"concept"`
+			Stable    bool   `json:"stable"`
+			FromCache bool   `json:"from_cache"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		t.Fatalf("check response not JSON: %v\n%s", err, body)
+	}
+	if len(out.Results) != 1 || !out.Results[0].Stable || !out.Results[0].FromCache {
+		t.Fatalf("star at α=7/3 should be a PS-stable certificate hit: %+v", out.Results)
 	}
 }

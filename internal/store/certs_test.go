@@ -1,0 +1,160 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+func certOn01(canon string, concept uint8) CertRecord {
+	// Stable exactly on [0, 1]: the K_n Remove-Equilibrium shape.
+	return CertRecord{Canon: canon, Concept: concept, Intervals: []Interval{
+		{LoNum: 0, LoDen: 1, HiNum: 1, HiDen: 1},
+	}}
+}
+
+// TestStoreCertRoundTrip: certificates persist, survive reopen, answer
+// exact rational membership queries, and are counted per record type.
+func TestStoreCertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cert := certOn01("canon-a", 3)
+	if err := s.PutCert(cert); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Canon: "canon-b", Num: 2, Den: 1, Concept: 3, Stable: false}); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Records != 2 || st.VerdictRecords != 1 || st.CertificateRecords != 1 {
+		t.Fatalf("stats %+v, want 1 verdict + 1 certificate", st)
+	}
+	// Idempotent re-put; conflicting re-put rejected.
+	if err := s.PutCert(cert); err != nil {
+		t.Fatal(err)
+	}
+	bad := certOn01("canon-a", 3)
+	bad.Intervals[0].HiOpen = true
+	if err := s.PutCert(bad); err == nil {
+		t.Fatal("conflicting certificate accepted")
+	}
+	// Malformed certificates are refused at Put: anything Validate lets
+	// through must decode on reopen and rebuild into an eq.AlphaSet, so
+	// empty, inverted, out-of-order, touching-closed and out-of-range
+	// shapes all fail loudly here instead of at a later warm-start.
+	for name, ivs := range map[string][]Interval{
+		"empty":           {{LoNum: 5, LoDen: 1, HiNum: 5, HiDen: 1, HiOpen: true}},
+		"inverted":        {{LoNum: 5, LoDen: 1, HiNum: 1, HiDen: 1}},
+		"out of order":    {{LoNum: 2, LoDen: 1, HiNum: 3, HiDen: 1}, {LoNum: 0, LoDen: 1, HiNum: 1, HiDen: 1}},
+		"touching closed": {{LoNum: 0, LoDen: 1, HiNum: 1, HiDen: 1}, {LoNum: 1, LoDen: 1, HiInf: true}},
+		"undecodable num": {{LoNum: 1<<62 + 1, LoDen: 1, HiInf: true}},
+		"after unbounded": {{LoNum: 0, LoDen: 1, HiInf: true}, {LoNum: 1, LoDen: 1, HiInf: true}},
+	} {
+		if err := (CertRecord{Canon: "x", Concept: 1, Intervals: ivs}).Validate(); err == nil {
+			t.Errorf("%s certificate accepted by Validate", name)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	got, ok := s2.GetCert(CertKey{Canon: "canon-a", Concept: 3})
+	if !ok || !equalIntervals(got.Intervals, cert.Intervals) {
+		t.Fatalf("reopened certificate: ok=%v %+v", ok, got)
+	}
+	for _, tc := range []struct {
+		num, den int64
+		want     bool
+	}{{0, 1, true}, {1, 2, true}, {1, 1, true}, {3, 2, false}, {2, 1, false}} {
+		if got.Contains(tc.num, tc.den) != tc.want {
+			t.Errorf("Contains(%d/%d) = %v, want %v", tc.num, tc.den, !tc.want, tc.want)
+		}
+	}
+	n := 0
+	s2.RangeCerts(func(CertRecord) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("RangeCerts visited %d records, want 1", n)
+	}
+}
+
+// TestStoreCompactFoldsSubsumedVerdicts: compaction drops every per-α
+// verdict whose (canon, concept) certificate answers its α identically —
+// one certificate replaces the row on disk — and keeps verdicts with no
+// covering certificate.
+func TestStoreCompactFoldsSubsumedVerdicts(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Legacy row: verdicts at α = 1/2, 1, 2 for the [0, 1] certificate.
+	for _, a := range []struct {
+		num, den int64
+		stable   bool
+	}{{1, 2, true}, {1, 1, true}, {2, 1, false}} {
+		if err := s.Put(Record{Canon: "canon-a", Num: a.num, Den: a.den, Concept: 3, Stable: a.stable}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// An uncovered verdict (different concept) survives compaction.
+	if err := s.Put(Record{Canon: "canon-a", Num: 1, Den: 1, Concept: 4, Stable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCert(certOn01("canon-a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.VerdictRecords != 4 || st.CertificateRecords != 1 {
+		t.Fatalf("pre-compact stats %+v", st)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.VerdictRecords != 1 || st.CertificateRecords != 1 || st.Records != 2 {
+		t.Fatalf("post-compact stats %+v, want the certificate to fold the covered row", st)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The folded state is what reopens.
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if st := s2.Stats(); st.VerdictRecords != 1 || st.CertificateRecords != 1 {
+		t.Fatalf("reopened stats %+v", st)
+	}
+	if _, ok := s2.Get(Key{Canon: "canon-a", Num: 1, Den: 1, Concept: 4}); !ok {
+		t.Fatal("uncovered verdict lost in compaction")
+	}
+}
+
+// TestStoreCompactRejectsContradictingVerdict: a verdict that disagrees
+// with its covering certificate is corruption; compaction must fail
+// loudly, not pick a side.
+func TestStoreCompactRejectsContradictingVerdict(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Put(Record{Canon: "canon-a", Num: 2, Den: 1, Concept: 3, Stable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutCert(certOn01("canon-a", 3)); err != nil {
+		t.Fatal(err)
+	}
+	err = s.Compact()
+	if err == nil || !strings.Contains(err.Error(), "contradicts") {
+		t.Fatalf("compaction of contradicting records: %v", err)
+	}
+}

@@ -22,11 +22,14 @@ func FuzzRecordRoundTrip(f *testing.F) {
 		if !ok {
 			t.Fatalf("freshly encoded frame did not decode: %+v", rec)
 		}
+		if got.isCert {
+			t.Fatalf("verdict frame decoded as certificate: %+v", rec)
+		}
 		if n != len(frame) {
 			t.Fatalf("frame size %d, decoded %d", len(frame), n)
 		}
-		if got != rec {
-			t.Fatalf("round trip changed the record: %+v -> %+v", rec, got)
+		if got.rec != rec {
+			t.Fatalf("round trip changed the record: %+v -> %+v", rec, got.rec)
 		}
 		// A frame concatenation decodes records one by one.
 		double := append(append([]byte{}, frame...), frame...)
@@ -36,26 +39,81 @@ func FuzzRecordRoundTrip(f *testing.F) {
 	})
 }
 
+// FuzzCertRecordRoundTrip is the certificate twin of FuzzRecordRoundTrip:
+// a valid certificate record (fuzz-built from up to two intervals)
+// survives encode → frame → decode byte-identically, and the leading
+// 0x00 kind byte keeps the two payload encodings unconfusable.
+func FuzzCertRecordRoundTrip(f *testing.F) {
+	f.Add([]byte{0, 1, 0}, uint8(3), int64(0), int64(1), int64(1), int64(1), uint8(0), false)
+	f.Add([]byte("(())"), uint8(9), int64(1), int64(2), int64(9), int64(2), uint8(3), true)
+	f.Fuzz(func(t *testing.T, canon []byte, concept uint8, loNum, loDen, hiNum, hiDen int64, flags uint8, second bool) {
+		iv := Interval{
+			LoNum: loNum, LoDen: loDen, HiNum: hiNum, HiDen: hiDen,
+			LoOpen: flags&1 != 0, HiOpen: flags&2 != 0, HiInf: flags&4 != 0,
+		}
+		if iv.HiInf {
+			// The encoding is canonical: unbounded intervals carry no upper
+			// endpoint at all.
+			iv.HiNum, iv.HiDen = 0, 0
+		}
+		ivs := []Interval{iv}
+		if !iv.HiInf && second {
+			ivs = append(ivs, Interval{LoNum: hiNum, LoDen: hiDen, HiInf: true})
+		}
+		rec := CertRecord{Canon: string(canon), Concept: concept, Intervals: ivs}
+		if rec.Validate() != nil {
+			return
+		}
+		frame := encodeCertFrame(rec)
+		n, got, ok := decodeFrame(frame)
+		if !ok {
+			t.Fatalf("freshly encoded certificate frame did not decode: %+v", rec)
+		}
+		if !got.isCert {
+			t.Fatalf("certificate frame decoded as verdict: %+v", rec)
+		}
+		if n != len(frame) {
+			t.Fatalf("frame size %d, decoded %d", len(frame), n)
+		}
+		if got.cert.Canon != rec.Canon || got.cert.Concept != rec.Concept ||
+			!equalIntervals(got.cert.Intervals, rec.Intervals) {
+			t.Fatalf("round trip changed the certificate: %+v -> %+v", rec, got.cert)
+		}
+	})
+}
+
 // FuzzDecodeFrame: arbitrary bytes never panic the frame decoder, and
-// anything it accepts re-encodes to the identical frame prefix (no
-// malleability: one record, one encoding).
+// anything it accepts — verdict or certificate — re-encodes to the
+// identical frame prefix (no malleability: one record, one encoding).
 func FuzzDecodeFrame(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 0})
 	f.Add(encodeFrame(Record{Canon: "x", Num: 1, Den: 2, Concept: 3, Stable: true}))
+	f.Add(encodeCertFrame(CertRecord{Canon: "x", Concept: 3, Intervals: []Interval{
+		{LoNum: 0, LoDen: 1, HiNum: 1, HiDen: 1, HiOpen: true},
+	}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
-		n, rec, ok := decodeFrame(data)
+		n, fr, ok := decodeFrame(data)
 		if !ok {
 			return
-		}
-		if err := rec.Validate(); err != nil {
-			t.Fatalf("decoder accepted an invalid record: %v", err)
 		}
 		if n <= 0 || n > len(data) {
 			t.Fatalf("decoded frame size %d out of range", n)
 		}
-		if !bytes.Equal(encodeFrame(rec), data[:n]) {
-			t.Fatalf("re-encoding %+v differs from the accepted frame", rec)
+		if fr.isCert {
+			if err := fr.cert.Validate(); err != nil {
+				t.Fatalf("decoder accepted an invalid certificate: %v", err)
+			}
+			if !bytes.Equal(encodeCertFrame(fr.cert), data[:n]) {
+				t.Fatalf("re-encoding %+v differs from the accepted frame", fr.cert)
+			}
+			return
+		}
+		if err := fr.rec.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid record: %v", err)
+		}
+		if !bytes.Equal(encodeFrame(fr.rec), data[:n]) {
+			t.Fatalf("re-encoding %+v differs from the accepted frame", fr.rec)
 		}
 	})
 }

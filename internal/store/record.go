@@ -53,7 +53,9 @@ func (r Record) Validate() error {
 	if len(r.Canon) > maxFrameBytes-32 {
 		return fmt.Errorf("store: canonical key of %d bytes exceeds the frame cap", len(r.Canon))
 	}
-	if r.Num < 0 || r.Den <= 0 {
+	if r.Num < 0 || r.Num > maxRat || r.Den <= 0 || r.Den > maxRat {
+		// The bounds mirror decodeRecord's: a record that validates but
+		// cannot decode would truncate recovery at its frame.
 		return fmt.Errorf("store: record with invalid price %d/%d", r.Num, r.Den)
 	}
 	if r.Concept == 0 {
@@ -61,6 +63,166 @@ func (r Record) Validate() error {
 	}
 	return nil
 }
+
+// Interval is one exact α interval of a persisted certificate. Endpoints
+// are non-negative reduced rationals; HiInf marks an unbounded interval.
+// The store is deliberately decoupled from package eq — the sweep-cache
+// bridge maps these to eq.AlphaInterval.
+type Interval struct {
+	LoNum, LoDen   int64
+	HiNum, HiDen   int64
+	LoOpen, HiOpen bool
+	HiInf          bool
+}
+
+// CertRecord is one persisted stability certificate: the exact set of
+// edge prices (a sorted union of disjoint intervals) at which the class
+// identified by Canon is stable for Concept. One certificate record
+// replaces an entire per-α row of verdict Records — the economy of the
+// parametric sweep engine.
+type CertRecord struct {
+	Canon     string
+	Concept   uint8
+	Intervals []Interval
+}
+
+// CertKey identifies a certificate; two records with equal keys must
+// agree on their interval sets.
+type CertKey struct {
+	Canon   string
+	Concept uint8
+}
+
+// Key returns r's identity.
+func (r CertRecord) Key() CertKey { return CertKey{Canon: r.Canon, Concept: r.Concept} }
+
+func (k CertKey) less(o CertKey) bool {
+	if k.Canon != o.Canon {
+		return k.Canon < o.Canon
+	}
+	return k.Concept < o.Concept
+}
+
+// maxRat bounds every encoded rational component; decode rejects larger
+// values, so Validate must too — a record that validates but cannot
+// decode would truncate recovery at its frame and silently drop every
+// later frame in the shard.
+const maxRat = 1 << 62
+
+// ratCmp compares a/b with c/d (positive denominators) exactly.
+func ratCmp(a, b, c, d int64) int {
+	lhs, rhs := a*d, c*b
+	switch {
+	case lhs < rhs:
+		return -1
+	case lhs > rhs:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Validate reports whether r can be encoded AND decoded: a non-empty
+// canonical key that fits a frame, a non-zero concept, and non-empty,
+// sorted, pairwise-disjoint intervals with in-range endpoints. The
+// sweep-cache bridge rebuilds an eq.AlphaSet from these intervals and
+// panics on malformed shapes, so the store must refuse them at Put — a
+// bad certificate fails loudly here, never at a later warm-start.
+func (r CertRecord) Validate() error {
+	if r.Canon == "" {
+		return fmt.Errorf("store: certificate with empty canonical key")
+	}
+	if len(r.Canon) > maxFrameBytes-64 {
+		return fmt.Errorf("store: canonical key of %d bytes exceeds the frame cap", len(r.Canon))
+	}
+	if r.Concept == 0 {
+		return fmt.Errorf("store: certificate with zero concept")
+	}
+	if len(r.Intervals) > maxCertIntervals {
+		return fmt.Errorf("store: certificate with %d intervals exceeds the cap", len(r.Intervals))
+	}
+	for i, iv := range r.Intervals {
+		if iv.LoNum < 0 || iv.LoNum > maxRat || iv.LoDen <= 0 || iv.LoDen > maxRat {
+			return fmt.Errorf("store: certificate interval %d with invalid lower bound %d/%d", i, iv.LoNum, iv.LoDen)
+		}
+		if iv.HiInf {
+			if iv.HiNum != 0 || iv.HiDen != 0 || iv.HiOpen {
+				return fmt.Errorf("store: certificate interval %d with non-canonical unbounded form", i)
+			}
+		} else {
+			if iv.HiNum < 0 || iv.HiNum > maxRat || iv.HiDen <= 0 || iv.HiDen > maxRat {
+				return fmt.Errorf("store: certificate interval %d with invalid upper bound %d/%d", i, iv.HiNum, iv.HiDen)
+			}
+			switch c := ratCmp(iv.LoNum, iv.LoDen, iv.HiNum, iv.HiDen); {
+			case c > 0:
+				return fmt.Errorf("store: certificate interval %d is inverted", i)
+			case c == 0:
+				if iv.LoOpen || iv.HiOpen {
+					return fmt.Errorf("store: certificate interval %d is empty", i)
+				}
+			}
+		}
+		if i > 0 {
+			prev := r.Intervals[i-1]
+			if prev.HiInf {
+				return fmt.Errorf("store: certificate interval %d after an unbounded one", i)
+			}
+			switch c := ratCmp(prev.HiNum, prev.HiDen, iv.LoNum, iv.LoDen); {
+			case c > 0:
+				return fmt.Errorf("store: certificate intervals %d and %d out of order", i-1, i)
+			case c == 0:
+				if !prev.HiOpen && !iv.LoOpen {
+					return fmt.Errorf("store: certificate intervals %d and %d touch with both endpoints closed", i-1, i)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// equalIntervals reports whether two persisted certificates describe the
+// same α set, endpoint for endpoint.
+func equalIntervals(a, b []Interval) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the exact price num/den (den > 0) lies in the
+// certificate's stable set — pure int64 cross-multiplication, no floats.
+func (r CertRecord) Contains(num, den int64) bool {
+	for _, iv := range r.Intervals {
+		// Below the lower bound?
+		lo := iv.LoNum*den - num*iv.LoDen // sign of Lo − α
+		if lo > 0 || (lo == 0 && iv.LoOpen) {
+			continue
+		}
+		if iv.HiInf {
+			return true
+		}
+		hi := num*iv.HiDen - iv.HiNum*den // sign of α − Hi
+		if hi < 0 || (hi == 0 && !iv.HiOpen) {
+			return true
+		}
+	}
+	return false
+}
+
+// maxCertIntervals caps the interval count of one persisted certificate,
+// so a corrupt count cannot force a huge allocation during recovery.
+const maxCertIntervals = 1 << 12
+
+// certKind is the frame-payload discriminator of certificate records: a
+// leading 0x00 byte. Legacy verdict payloads always start with a non-zero
+// uvarint (the canonical-key length), so the two encodings cannot be
+// confused and v1 stores open unchanged.
+const certKind = 0x00
 
 // encodeRecord renders the frame payload:
 //
@@ -109,6 +271,112 @@ func decodeRecord(b []byte) (Record, error) {
 	rec.Stable = b[1] == 1
 	if err := rec.Validate(); err != nil {
 		return Record{}, err
+	}
+	return rec, nil
+}
+
+// encodeCertRecord renders a certificate frame payload:
+//
+//	0x00 | uvarint len(canon) | canon | concept | uvarint count |
+//	per interval: flags | uvarint loNum | uvarint loDen
+//	              [ uvarint hiNum | uvarint hiDen  when not HiInf ]
+//
+// flags: bit0 LoOpen, bit1 HiOpen, bit2 HiInf.
+func encodeCertRecord(r CertRecord) []byte {
+	buf := make([]byte, 0, 8+len(r.Canon)+len(r.Intervals)*(1+4*binary.MaxVarintLen64))
+	buf = append(buf, certKind)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Canon)))
+	buf = append(buf, r.Canon...)
+	buf = append(buf, r.Concept)
+	buf = binary.AppendUvarint(buf, uint64(len(r.Intervals)))
+	for _, iv := range r.Intervals {
+		var flags byte
+		if iv.LoOpen {
+			flags |= 1
+		}
+		if iv.HiOpen {
+			flags |= 2
+		}
+		if iv.HiInf {
+			flags |= 4
+		}
+		buf = append(buf, flags)
+		buf = binary.AppendUvarint(buf, uint64(iv.LoNum))
+		buf = binary.AppendUvarint(buf, uint64(iv.LoDen))
+		if !iv.HiInf {
+			buf = binary.AppendUvarint(buf, uint64(iv.HiNum))
+			buf = binary.AppendUvarint(buf, uint64(iv.HiDen))
+		}
+	}
+	return buf
+}
+
+// decodeCertRecord parses a certificate frame payload (after the leading
+// kind byte has been recognized, but including it in b). It rejects
+// trailing garbage and any record Validate would refuse.
+func decodeCertRecord(b []byte) (CertRecord, error) {
+	if len(b) == 0 || b[0] != certKind {
+		return CertRecord{}, fmt.Errorf("store: not a certificate payload")
+	}
+	b = b[1:]
+	clen, n := binary.Uvarint(b)
+	if n <= 0 || clen == 0 || uint64(len(b)-n) < clen {
+		return CertRecord{}, fmt.Errorf("store: bad certificate canonical-key length")
+	}
+	b = b[n:]
+	rec := CertRecord{Canon: string(b[:clen])}
+	b = b[clen:]
+	if len(b) < 1 {
+		return CertRecord{}, fmt.Errorf("store: truncated certificate")
+	}
+	rec.Concept = b[0]
+	b = b[1:]
+	count, n := binary.Uvarint(b)
+	if n <= 0 || count > maxCertIntervals {
+		return CertRecord{}, fmt.Errorf("store: bad certificate interval count")
+	}
+	b = b[n:]
+	readRat := func() (int64, bool) {
+		v, n := binary.Uvarint(b)
+		if n <= 0 || v > 1<<62 {
+			return 0, false
+		}
+		b = b[n:]
+		return int64(v), true
+	}
+	rec.Intervals = make([]Interval, 0, count)
+	for i := uint64(0); i < count; i++ {
+		if len(b) < 1 {
+			return CertRecord{}, fmt.Errorf("store: truncated certificate interval")
+		}
+		flags := b[0]
+		if flags > 7 {
+			return CertRecord{}, fmt.Errorf("store: bad certificate interval flags")
+		}
+		b = b[1:]
+		iv := Interval{LoOpen: flags&1 != 0, HiOpen: flags&2 != 0, HiInf: flags&4 != 0}
+		var ok bool
+		if iv.LoNum, ok = readRat(); !ok {
+			return CertRecord{}, fmt.Errorf("store: bad certificate endpoint")
+		}
+		if iv.LoDen, ok = readRat(); !ok {
+			return CertRecord{}, fmt.Errorf("store: bad certificate endpoint")
+		}
+		if !iv.HiInf {
+			if iv.HiNum, ok = readRat(); !ok {
+				return CertRecord{}, fmt.Errorf("store: bad certificate endpoint")
+			}
+			if iv.HiDen, ok = readRat(); !ok {
+				return CertRecord{}, fmt.Errorf("store: bad certificate endpoint")
+			}
+		}
+		rec.Intervals = append(rec.Intervals, iv)
+	}
+	if len(b) != 0 {
+		return CertRecord{}, fmt.Errorf("store: trailing bytes after certificate")
+	}
+	if err := rec.Validate(); err != nil {
+		return CertRecord{}, err
 	}
 	return rec, nil
 }

@@ -21,9 +21,15 @@
 //
 //	uint32 LE payload length | uint32 LE CRC32(IEEE, payload) | payload
 //
-// The payload encoding is defined in record.go. Concurrent use by multiple
-// goroutines of one process is safe; concurrent writers from different
-// processes are rejected by the lock file.
+// Two payload kinds share the framing: per-α verdict records and
+// parametric certificate records (a leading 0x00 byte — impossible for a
+// verdict payload, whose first byte is a non-zero key length — selects
+// the certificate encoding). One certificate persists a class's exact
+// stable-α interval set for one concept and subsumes every verdict row
+// over it; Compact folds subsumed verdicts away. The payload encodings
+// are defined in record.go. Concurrent use by multiple goroutines of one
+// process is safe; concurrent writers from different processes are
+// rejected by the lock file.
 package store
 
 import (
@@ -71,8 +77,14 @@ type Options struct {
 
 // Stats is an observability snapshot of a store.
 type Stats struct {
-	// Records counts distinct keys currently held.
+	// Records counts distinct keys currently held, verdicts plus
+	// certificates.
 	Records int `json:"records"`
+	// VerdictRecords and CertificateRecords break Records down by record
+	// type, so operators can watch compaction fold per-α verdict rows into
+	// certificates.
+	VerdictRecords     int `json:"verdict_records"`
+	CertificateRecords int `json:"certificate_records"`
 	// Segments is the shard count.
 	Segments int `json:"segments"`
 	// DiskBytes is the total size of the durable segment data.
@@ -111,6 +123,7 @@ type Store struct {
 	mu      sync.Mutex
 	segs    []*segment
 	recs    map[Key]bool
+	certs   map[CertKey][]Interval
 	pending int      // buffered records across all segments
 	lock    *os.File // flock-held single-writer lock (nil when read-only)
 	stats   Stats
@@ -150,9 +163,10 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s := &Store{
-		dir:  dir,
-		opts: opts,
-		recs: make(map[Key]bool),
+		dir:   dir,
+		opts:  opts,
+		recs:  make(map[Key]bool),
+		certs: make(map[CertKey][]Interval),
 	}
 	if !opts.ReadOnly {
 		lock, err := acquireLock(dir)
@@ -258,10 +272,22 @@ func (s *Store) openSegment(path string) (*segment, error) {
 	if len(data) >= len(segMagic) && string(data[:len(segMagic)]) == segMagic {
 		valid = len(segMagic)
 		for valid < len(data) {
-			n, rec, ok := decodeFrame(data[valid:])
+			n, fr, ok := decodeFrame(data[valid:])
 			if !ok {
 				break
 			}
+			if fr.isCert {
+				if prev, seen := s.certs[fr.cert.Key()]; seen {
+					if !equalIntervals(prev, fr.cert.Intervals) {
+						return nil, fmt.Errorf("store: %s: conflicting persisted certificates for %v", path, fr.cert.Key())
+					}
+					s.stats.DuplicateFrames++
+				}
+				s.certs[fr.cert.Key()] = fr.cert.Intervals
+				valid += n
+				continue
+			}
+			rec := fr.rec
 			if prev, seen := s.recs[rec.Key()]; seen {
 				if prev != rec.Stable {
 					// Two durable frames disagree on a pure function of
@@ -308,38 +334,59 @@ func (s *Store) openSegment(path string) (*segment, error) {
 	return &segment{path: path, f: f, size: int64(valid)}, nil
 }
 
+// frame is one decoded segment frame: either a verdict Record or a
+// certificate CertRecord, discriminated by the payload's leading byte
+// (certKind = 0x00; legacy verdict payloads always start with a non-zero
+// uvarint, so both kinds coexist in one segment and v1 stores open
+// unchanged).
+type frame struct {
+	rec    Record
+	cert   CertRecord
+	isCert bool
+}
+
 // decodeFrame decodes one frame from the head of b, returning the frame
 // size and record. ok is false on a short, oversized, CRC-failing or
 // undecodable frame — the truncation point during recovery.
-func decodeFrame(b []byte) (n int, rec Record, ok bool) {
+func decodeFrame(b []byte) (n int, fr frame, ok bool) {
 	if len(b) < frameHeader {
-		return 0, Record{}, false
+		return 0, frame{}, false
 	}
 	// Bounds-check the untrusted length as uint64: a corrupt prefix must
 	// not wrap negative through int on 32-bit platforms.
 	plen64 := uint64(binary.LittleEndian.Uint32(b))
 	if plen64 == 0 || plen64 > maxFrameBytes || plen64 > uint64(len(b)-frameHeader) {
-		return 0, Record{}, false
+		return 0, frame{}, false
 	}
 	plen := int(plen64)
 	payload := b[frameHeader : frameHeader+plen]
 	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(b[4:]) {
-		return 0, Record{}, false
+		return 0, frame{}, false
+	}
+	if payload[0] == certKind {
+		cert, err := decodeCertRecord(payload)
+		if err != nil {
+			return 0, frame{}, false
+		}
+		return frameHeader + plen, frame{cert: cert, isCert: true}, true
 	}
 	rec, err := decodeRecord(payload)
 	if err != nil {
-		return 0, Record{}, false
+		return 0, frame{}, false
 	}
-	return frameHeader + plen, rec, true
+	return frameHeader + plen, frame{rec: rec}, true
 }
 
-func encodeFrame(rec Record) []byte {
-	payload := encodeRecord(rec)
+func frameOf(payload []byte) []byte {
 	buf := make([]byte, frameHeader, frameHeader+len(payload))
 	binary.LittleEndian.PutUint32(buf, uint32(len(payload)))
 	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(payload))
 	return append(buf, payload...)
 }
+
+func encodeFrame(rec Record) []byte { return frameOf(encodeRecord(rec)) }
+
+func encodeCertFrame(rec CertRecord) []byte { return frameOf(encodeCertRecord(rec)) }
 
 // shardIndex is the single definition of the shard-assignment rule; the
 // append path and Compact must agree on it or compaction would move
@@ -447,6 +494,41 @@ func countFrames(b []byte) int {
 	return n
 }
 
+// PutCert appends a certificate record. A Put of an already-held key with
+// the same interval set is a no-op; a conflicting set for a held key is
+// rejected — certificates are pure functions of their key, so a conflict
+// means a corrupted store or a buggy writer, never legitimate data.
+func (s *Store) PutCert(rec CertRecord) error {
+	if err := rec.Validate(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	if s.closed || s.opts.ReadOnly {
+		s.mu.Unlock()
+		return fmt.Errorf("store: PutCert on a closed or read-only store")
+	}
+	if prev, ok := s.certs[rec.Key()]; ok {
+		s.mu.Unlock()
+		if !equalIntervals(prev, rec.Intervals) {
+			return fmt.Errorf("store: conflicting certificate for %v", rec.Key())
+		}
+		return nil
+	}
+	s.certs[rec.Key()] = rec.Intervals
+	s.stats.Appended++
+	seg := s.shardOf(rec.Canon)
+	seg.pending = append(seg.pending, encodeCertFrame(rec)...)
+	s.pending++
+	flushNow := s.pending >= s.opts.FlushEvery
+	if !flushNow {
+		s.mu.Unlock()
+		return nil
+	}
+	err := s.flushLocked()
+	s.mu.Unlock()
+	return err
+}
+
 // Get returns the persisted verdict for k, if present.
 func (s *Store) Get(k Key) (stable, ok bool) {
 	s.mu.Lock()
@@ -455,11 +537,40 @@ func (s *Store) Get(k Key) (stable, ok bool) {
 	return stable, ok
 }
 
-// Len returns the number of distinct keys held.
+// GetCert returns the persisted certificate for k, if present.
+func (s *Store) GetCert(k CertKey) (CertRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ivs, ok := s.certs[k]
+	if !ok {
+		return CertRecord{}, false
+	}
+	return CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: ivs}, true
+}
+
+// RangeCerts calls f for every certificate record (pending and durable
+// alike) until f returns false. Iteration order is unspecified. The
+// store's lock is not held during calls to f.
+func (s *Store) RangeCerts(f func(CertRecord) bool) {
+	s.mu.Lock()
+	recs := make([]CertRecord, 0, len(s.certs))
+	for k, ivs := range s.certs {
+		recs = append(recs, CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: ivs})
+	}
+	s.mu.Unlock()
+	for _, rec := range recs {
+		if !f(rec) {
+			return
+		}
+	}
+}
+
+// Len returns the number of distinct keys held (verdicts plus
+// certificates).
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.recs)
+	return len(s.recs) + len(s.certs)
 }
 
 // Range calls f for every record (pending and durable alike) until f
@@ -484,7 +595,9 @@ func (s *Store) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
-	st.Records = len(s.recs)
+	st.VerdictRecords = len(s.recs)
+	st.CertificateRecords = len(s.certs)
+	st.Records = len(s.recs) + len(s.certs)
 	st.Pending = s.pending
 	st.DiskBytes = 0
 	for _, seg := range s.segs {
@@ -495,8 +608,13 @@ func (s *Store) Stats() Stats {
 
 // Compact rewrites every segment from the in-memory record set in
 // deterministic key order, dropping duplicate and superseded frames and
-// reclaiming the space of truncated tails. Each segment is rebuilt in a
-// temporary file, fsynced, and atomically renamed into place.
+// reclaiming the space of truncated tails. Per-α verdict records subsumed
+// by a certificate — the certificate for their (canon, concept) exists
+// and answers their α identically — are folded away: one certificate
+// replaces the whole row on disk. A verdict contradicting its certificate
+// is corruption (both are pure functions of the class) and fails the
+// compaction rather than silently dropping either. Each segment is
+// rebuilt in a temporary file, fsynced, and atomically renamed into place.
 func (s *Store) Compact() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -506,14 +624,31 @@ func (s *Store) Compact() error {
 	if err := s.flushLocked(); err != nil {
 		return err
 	}
+	certKeys := make([]CertKey, 0, len(s.certs))
+	for k := range s.certs {
+		certKeys = append(certKeys, k)
+	}
+	sort.Slice(certKeys, func(i, j int) bool { return certKeys[i].less(certKeys[j]) })
 	keys := make([]Key, 0, len(s.recs))
 	for k := range s.recs {
+		if ivs, ok := s.certs[CertKey{Canon: k.Canon, Concept: k.Concept}]; ok {
+			cert := CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: ivs}
+			if cert.Contains(k.Num, k.Den) != s.recs[k] {
+				return fmt.Errorf("store: verdict for %v contradicts its certificate", k)
+			}
+			delete(s.recs, k) // subsumed: the certificate answers this α
+			continue
+		}
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
 	bufs := make([][]byte, len(s.segs))
 	for i := range bufs {
 		bufs[i] = []byte(segMagic)
+	}
+	for _, k := range certKeys {
+		rec := CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: s.certs[k]}
+		bufs[s.shardIndex(k.Canon)] = append(bufs[s.shardIndex(k.Canon)], encodeCertFrame(rec)...)
 	}
 	for _, k := range keys {
 		rec := Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Stable: s.recs[k]}

@@ -5,7 +5,6 @@ import (
 	"sync/atomic"
 
 	"repro/internal/eq"
-	"repro/internal/game"
 )
 
 // Key identifies one memoized stability verdict: the canonical form of the
@@ -23,30 +22,49 @@ type Key struct {
 	Concept  eq.Concept
 }
 
+// CertKey identifies one memoized stability certificate: the canonical
+// form and the concept. A certificate answers every α at once, so the
+// price is not part of the key — that is the whole economy of the
+// parametric engine: one cache entry (and one persisted record) replaces a
+// per-α row of verdicts.
+type CertKey struct {
+	Canon   string
+	Concept eq.Concept
+}
+
 // CacheStats is an observability snapshot of a Cache.
 type CacheStats struct {
-	// Entries counts the memoized verdicts.
+	// Entries counts the memoized entries: per-α verdicts plus
+	// certificates.
 	Entries int `json:"entries"`
-	// Hits and Misses count lookups served from memory and lookups that
-	// fell through to a checker, across the cache's lifetime (surviving
-	// individual sweeps, unlike Result.Hits/Misses which cover one run).
+	// Verdicts and Certificates break Entries down by kind.
+	Verdicts     int `json:"verdicts"`
+	Certificates int `json:"certificates"`
+	// Hits and Misses count verdicts served from memory and verdicts that
+	// fell through to a checker or certification, across the cache's
+	// lifetime (surviving individual sweeps, unlike Result.Hits/Misses
+	// which cover one run). A certificate hit counts once per α it
+	// answered.
 	Hits   int64 `json:"hits"`
 	Misses int64 `json:"misses"`
 }
 
-// Cache memoizes per-concept stability verdicts across sweeps. It is safe
-// for concurrent use by any number of sweep workers.
+// Cache memoizes per-concept stability verdicts and parametric stability
+// certificates across sweeps. It is safe for concurrent use by any number
+// of sweep workers.
 type Cache struct {
-	mu   sync.RWMutex
-	m    map[Key]bool
-	sink func(Key, bool)
+	mu       sync.RWMutex
+	m        map[Key]bool
+	certs    map[CertKey]eq.AlphaSet
+	sink     func(Key, bool)
+	sinkCert func(CertKey, eq.AlphaSet)
 
 	hits, misses atomic.Int64
 }
 
 // NewCache returns an empty cache.
 func NewCache() *Cache {
-	return &Cache{m: make(map[Key]bool)}
+	return &Cache{m: make(map[Key]bool), certs: make(map[CertKey]eq.AlphaSet)}
 }
 
 var shared atomic.Pointer[Cache]
@@ -96,20 +114,93 @@ func (c *Cache) Put(k Key, stable bool) {
 	}
 }
 
-// Len returns the number of memoized verdicts.
+// Len returns the number of memoized entries (verdicts plus certificates).
 func (c *Cache) Len() int {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return len(c.m)
+	return len(c.m) + len(c.certs)
 }
 
-// Stats returns the entry count and lifetime hit/miss counters.
+// Stats returns the entry counts and lifetime hit/miss counters.
 func (c *Cache) Stats() CacheStats {
+	c.mu.RLock()
+	verdicts, certs := len(c.m), len(c.certs)
+	c.mu.RUnlock()
 	return CacheStats{
-		Entries: c.Len(),
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
+		Entries:      verdicts + certs,
+		Verdicts:     verdicts,
+		Certificates: certs,
+		Hits:         c.hits.Load(),
+		Misses:       c.misses.Load(),
 	}
+}
+
+// GetCert returns the memoized certificate for (canon, concept), if
+// present. It does not touch the hit/miss counters: the sweep engine
+// counts per answered verdict, not per certificate (see lookupCert).
+func (c *Cache) GetCert(canon string, concept eq.Concept) (eq.AlphaSet, bool) {
+	c.mu.RLock()
+	set, ok := c.certs[CertKey{Canon: canon, Concept: concept}]
+	c.mu.RUnlock()
+	return set, ok
+}
+
+// PutCert memoizes a certificate (and forwards it to the persistence
+// sink, when one is attached). Certificates are pure functions of their
+// key, so a repeat Put is a no-op.
+func (c *Cache) PutCert(canon string, concept eq.Concept, set eq.AlphaSet) {
+	k := CertKey{Canon: canon, Concept: concept}
+	c.mu.Lock()
+	_, seen := c.certs[k]
+	if !seen {
+		c.certs[k] = set
+	}
+	sink := c.sinkCert
+	c.mu.Unlock()
+	if !seen && sink != nil {
+		sink(k, set)
+	}
+}
+
+// RangeCerts calls f for every memoized certificate until f returns
+// false, without holding the cache lock during calls.
+func (c *Cache) RangeCerts(f func(CertKey, eq.AlphaSet) bool) {
+	type entry struct {
+		k   CertKey
+		set eq.AlphaSet
+	}
+	c.mu.RLock()
+	entries := make([]entry, 0, len(c.certs))
+	for k, set := range c.certs {
+		entries = append(entries, entry{k, set})
+	}
+	c.mu.RUnlock()
+	for _, e := range entries {
+		if !f(e.k, e.set) {
+			return
+		}
+	}
+}
+
+// lookupCert is the sweep engine's certificate fetch: a hit counts once
+// per grid price it is about to answer, so Result.Hits/Misses and the
+// lifetime counters stay in verdict units across engine generations.
+func (c *Cache) lookupCert(canon string, concept eq.Concept, alphas int) (eq.AlphaSet, bool) {
+	set, ok := c.GetCert(canon, concept)
+	if ok {
+		c.hits.Add(int64(alphas))
+	} else {
+		c.misses.Add(int64(alphas))
+	}
+	return set, ok
+}
+
+// insertCert adds a certificate without touching the sink or the counters
+// — the warm-start path, where entries come from the sink's own backing.
+func (c *Cache) insertCert(k CertKey, set eq.AlphaSet) {
+	c.mu.Lock()
+	c.certs[k] = set
+	c.mu.Unlock()
 }
 
 // Range calls f for every memoized verdict until f returns false, without
@@ -129,57 +220,6 @@ func (c *Cache) Range(f func(Key, bool) bool) {
 		if !f(e.k, e.stable) {
 			return
 		}
-	}
-}
-
-// lookup fetches the verdicts for every concept under one read lock. It
-// returns the stable bits of the cached concepts and the mask of concepts
-// that still need computing.
-func (c *Cache) lookup(canon string, alpha game.Alpha, concepts []eq.Concept) (vec, missing Vector) {
-	k := Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den()}
-	c.mu.RLock()
-	for i, concept := range concepts {
-		k.Concept = concept
-		stable, ok := c.m[k]
-		if !ok {
-			missing |= 1 << i
-			continue
-		}
-		if stable {
-			vec |= 1 << i
-		}
-	}
-	c.mu.RUnlock()
-	c.hits.Add(int64(popcount16((Vector(1)<<len(concepts) - 1) &^ missing)))
-	c.misses.Add(int64(popcount16(missing)))
-	return vec, missing
-}
-
-// store memoizes the verdicts selected by mask under one write lock and
-// forwards the genuinely new ones to the persistence sink.
-func (c *Cache) store(canon string, alpha game.Alpha, concepts []eq.Concept, mask, vec Vector) {
-	k := Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den()}
-	type fresh struct {
-		k      Key
-		stable bool
-	}
-	var emit []fresh
-	c.mu.Lock()
-	sink := c.sink
-	for i, concept := range concepts {
-		if mask&(1<<i) == 0 {
-			continue
-		}
-		k.Concept = concept
-		stable := vec&(1<<i) != 0
-		if _, seen := c.m[k]; !seen && sink != nil {
-			emit = append(emit, fresh{k, stable})
-		}
-		c.m[k] = stable
-	}
-	c.mu.Unlock()
-	for _, e := range emit {
-		sink(e.k, e.stable)
 	}
 }
 

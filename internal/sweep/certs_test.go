@@ -1,0 +1,105 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+)
+
+// denseGrid returns a G-point α grid k/2 for k = 1..G.
+func denseGrid(g int) []game.Alpha {
+	out := make([]game.Alpha, g)
+	for k := 1; k <= g; k++ {
+		out[k-1] = game.AFrac(int64(k), 2)
+	}
+	return out
+}
+
+// TestSweepGridDensityInvariant pins the O(1)-per-α structure of the
+// certificate engine without timing anything: a 16× denser grid over the
+// same classes computes exactly the same number of certificates, reports
+// identical critical breakpoints, and agrees verdict-for-verdict on the
+// shared α values.
+func TestSweepGridDensityInvariant(t *testing.T) {
+	base := Options{N: 4, Concepts: eq.Concepts(), Workers: 4}
+	sparseOpts, denseOpts := base, base
+	sparseOpts.Alphas, sparseOpts.Cache = denseGrid(4), NewCache()
+	denseOpts.Alphas, denseOpts.Cache = denseGrid(64), NewCache()
+	sparse := mustRun(t, sparseOpts)
+	dense := mustRun(t, denseOpts)
+
+	if sparse.Certified != dense.Certified {
+		t.Errorf("certificates computed: %d at G=4 vs %d at G=64; want identical",
+			sparse.Certified, dense.Certified)
+	}
+	if want := int64(sparse.Graphs * len(sparse.Concepts)); sparse.Certified != want {
+		t.Errorf("certified %d, want one per (class, concept) = %d", sparse.Certified, want)
+	}
+	// The sparse grid is a prefix of the dense one: verdict vectors on the
+	// shared α values must match.
+	for ai := range sparseOpts.Alphas {
+		for gi := 0; gi < sparse.Graphs; gi++ {
+			sv := sparse.Items[ai*sparse.Graphs+gi].Vector
+			dv := dense.Items[ai*dense.Graphs+gi].Vector
+			if sv != dv {
+				t.Errorf("α=%s class %d: G=4 vector %09b != G=64 vector %09b",
+					sparseOpts.Alphas[ai], gi, sv, dv)
+			}
+		}
+	}
+	// Critical structure is a property of the classes, not the grid.
+	if got, want := sparse.CriticalReport(), dense.CriticalReport(); got != want {
+		t.Errorf("critical reports differ across grid density:\n%s\nvs\n%s", got, want)
+	}
+	if sparse.CriticalReport() == "" || !strings.Contains(sparse.CriticalReport(), "breakpoints") {
+		t.Errorf("critical report empty or malformed:\n%s", sparse.CriticalReport())
+	}
+}
+
+// TestSweepCertsAnswerItems: every grid verdict in Items is exactly the
+// certificate's answer at that α — the certificates in Result.Certs are
+// the authoritative parametric object the grid was read off of.
+func TestSweepCertsAnswerItems(t *testing.T) {
+	res := mustRun(t, latticeOptions(4, 4, NewCache()))
+	if len(res.Certs) != res.Graphs*len(res.Concepts) {
+		t.Fatalf("%d certificates for %d classes × %d concepts",
+			len(res.Certs), res.Graphs, len(res.Concepts))
+	}
+	for _, it := range res.Items {
+		for ci := range res.Concepts {
+			if got, want := it.Vector.Stable(ci), res.Cert(it.GraphIndex, ci).Contains(res.Alphas[it.AlphaIndex]); got != want {
+				t.Errorf("α=%s class %d %s: vector bit %v != certificate %v",
+					res.Alphas[it.AlphaIndex], it.GraphIndex, res.Concepts[ci], got, want)
+			}
+		}
+	}
+}
+
+// TestSweepCriticalDeterministic: the critical report is identical across
+// worker counts and cache states, like every other sweep output.
+func TestSweepCriticalDeterministic(t *testing.T) {
+	one := mustRun(t, latticeOptions(4, 1, NewCache()))
+	cache := NewCache()
+	cold := mustRun(t, latticeOptions(4, 8, cache))
+	warm := mustRun(t, latticeOptions(4, 8, cache))
+	for _, other := range []*Result{cold, warm} {
+		if got, want := other.CriticalReport(), one.CriticalReport(); got != want {
+			t.Errorf("critical reports differ:\n%s\nvs\n%s", got, want)
+		}
+	}
+	if len(warm.Critical) != len(warm.Concepts) {
+		t.Fatalf("%d critical entries for %d concepts", len(warm.Critical), len(warm.Concepts))
+	}
+	// The K4 class flips RE at α=1: the RE row must report breakpoint 1.
+	found := false
+	for _, a := range warm.Critical[0].Alphas {
+		if a == game.A(1) {
+			found = true
+		}
+	}
+	if warm.Critical[0].Concept != eq.RE || !found {
+		t.Errorf("RE critical row %v misses the clique breakpoint α=1", warm.Critical[0])
+	}
+}

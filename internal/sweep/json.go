@@ -12,17 +12,35 @@ import (
 // (in enumeration order) rather than per item. Consumers rejoin an item to
 // its graph via "graph_index".
 type resultJSON struct {
-	N           int        `json:"n"`
-	Source      string     `json:"source"`
-	Alphas      []string   `json:"alphas"`
-	Concepts    []string   `json:"concepts"`
-	Workers     int        `json:"workers"`
-	Graphs      int        `json:"graphs"`
-	Completed   int        `json:"completed"`
-	CacheHits   int64      `json:"cache_hits"`
-	CacheMisses int64      `json:"cache_misses"`
-	GraphList   []string   `json:"graph_list"`
-	Items       []itemJSON `json:"items"`
+	N           int               `json:"n"`
+	Source      string            `json:"source"`
+	Alphas      []string          `json:"alphas"`
+	Concepts    []string          `json:"concepts"`
+	Workers     int               `json:"workers"`
+	Graphs      int               `json:"graphs"`
+	Completed   int               `json:"completed"`
+	CacheHits   int64             `json:"cache_hits"`
+	CacheMisses int64             `json:"cache_misses"`
+	Certified   int64             `json:"certified"`
+	Critical    []ConceptCritical `json:"critical,omitempty"`
+	GraphList   []string          `json:"graph_list"`
+	Items       []itemJSON        `json:"items"`
+}
+
+// MarshalJSON renders one critical row as the stable schema every
+// surface shares — `{"concept":"PS","alphas":["1","2"]}`, the concept's
+// paper name and the breakpoints as exact rational strings, never floats.
+// The sweep JSON, /v1/critical and `bncg critical -json` all serialize
+// through this single definition.
+func (c ConceptCritical) MarshalJSON() ([]byte, error) {
+	alphas := make([]string, len(c.Alphas))
+	for i, a := range c.Alphas {
+		alphas[i] = a.String()
+	}
+	return json.Marshal(struct {
+		Concept string   `json:"concept"`
+		Alphas  []string `json:"alphas"`
+	}{c.Concept.String(), alphas})
 }
 
 type itemJSON struct {
@@ -47,8 +65,10 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		Completed:   r.Completed,
 		CacheHits:   r.Hits,
 		CacheMisses: r.Misses,
+		Certified:   r.Certified,
 		GraphList:   make([]string, 0, r.Graphs),
 		Items:       make([]itemJSON, len(r.Items)),
+		Critical:    r.Critical,
 	}
 	for i, a := range r.Alphas {
 		out.Alphas[i] = a.String()

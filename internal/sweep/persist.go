@@ -14,9 +14,57 @@ import (
 // and Checkpoint round-trips a sweep's grid spec through the store so an
 // interrupted run can be resumed.
 
-// WarmStart loads every verdict persisted in st into c and returns the
-// number of records loaded. Loaded entries do not re-enter the store when
-// Persist is also attached, and they count neither as hits nor misses.
+// storeIntervals converts a certificate to its persistence form.
+func storeIntervals(set eq.AlphaSet) []store.Interval {
+	ivs := set.Intervals()
+	out := make([]store.Interval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = store.Interval{
+			LoNum: iv.Lo.Num, LoDen: iv.Lo.Den,
+			LoOpen: iv.LoOpen, HiOpen: iv.HiOpen,
+		}
+		if iv.Hi.IsInf() {
+			out[i].HiInf, out[i].HiOpen = true, false
+		} else {
+			out[i].HiNum, out[i].HiDen = iv.Hi.Num, iv.Hi.Den
+		}
+	}
+	return out
+}
+
+// alphaSetOfStore rebuilds a certificate from its persistence form. The
+// store validated interval shape at decode; AlphaSetOf re-validates order
+// and disjointness, so a corrupted certificate fails loudly at warm-start
+// instead of answering queries wrong.
+func alphaSetOfStore(ivs []store.Interval) eq.AlphaSet {
+	out := make([]eq.AlphaInterval, len(ivs))
+	for i, iv := range ivs {
+		out[i] = eq.AlphaInterval{
+			Lo:     eq.RatOf(iv.LoNum, iv.LoDen),
+			LoOpen: iv.LoOpen,
+			HiOpen: iv.HiOpen,
+		}
+		if iv.HiInf {
+			out[i].Hi = eq.RatInf()
+		} else {
+			out[i].Hi = eq.RatOf(iv.HiNum, iv.HiDen)
+		}
+	}
+	return eq.AlphaSetOf(out)
+}
+
+// WarmStart loads every record persisted in st into c — per-α verdicts
+// and parametric certificates alike — and returns the number of records
+// loaded. Loaded entries do not re-enter the store when Persist is also
+// attached, and they count neither as hits nor misses.
+//
+// The two record types warm different paths: certificates feed the sweep
+// engine (Run consults only the certificate cache, so its Critical report
+// is always complete and deterministic), while per-α verdicts feed the
+// Get/Put path of /v1/check. A store written before the certificate
+// engine therefore no longer pre-warms sweeps — the first sweep
+// re-certifies (and persists certificates, after which `store compact`
+// folds the legacy rows away).
 func (c *Cache) WarmStart(st *store.Store) int {
 	n := 0
 	st.Range(func(r store.Record) bool {
@@ -24,32 +72,44 @@ func (c *Cache) WarmStart(st *store.Store) int {
 		n++
 		return true
 	})
+	st.RangeCerts(func(r store.CertRecord) bool {
+		c.insertCert(CertKey{Canon: r.Canon, Concept: eq.Concept(r.Concept)}, alphaSetOfStore(r.Intervals))
+		n++
+		return true
+	})
 	return n
 }
 
-// Persist registers st as c's write-behind sink: every verdict newly
-// computed into the cache — by sweeps, PoA searches, or direct Puts — is
-// appended to the store, which batches and fsyncs on its own schedule.
-// Call WarmStart first; entries already persisted are never re-appended
-// because the cache forwards only keys it had not seen. Persist(nil)
-// detaches the sink.
+// Persist registers st as c's write-behind sink: every verdict and every
+// certificate newly computed into the cache — by sweeps, PoA searches, or
+// direct Puts — is appended to the store, which batches and fsyncs on its
+// own schedule. Call WarmStart first; entries already persisted are never
+// re-appended because the cache forwards only keys it had not seen.
+// Persist(nil) detaches the sinks.
 func (c *Cache) Persist(st *store.Store) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if st == nil {
-		c.sink = nil
+		c.sink, c.sinkCert = nil, nil
 		return
 	}
+	// Put/PutCert can only fail on I/O or a conflicting entry; the cache
+	// has no error channel, so persistence degrades to best-effort and the
+	// authoritative copy stays in memory.
 	c.sink = func(k Key, stable bool) {
-		// Put can only fail on I/O or a conflicting verdict; the cache has
-		// no error channel, so persistence degrades to best-effort and the
-		// authoritative copy stays in memory.
 		_ = st.Put(store.Record{
 			Canon:   k.Canon,
 			Num:     k.Num,
 			Den:     k.Den,
 			Concept: uint8(k.Concept),
 			Stable:  stable,
+		})
+	}
+	c.sinkCert = func(k CertKey, set eq.AlphaSet) {
+		_ = st.PutCert(store.CertRecord{
+			Canon:     k.Canon,
+			Concept:   uint8(k.Concept),
+			Intervals: storeIntervals(set),
 		})
 	}
 }

@@ -15,12 +15,16 @@
 //     so each task evaluates a private clone with a per-worker Evaluator;
 //     the enumeration representatives handed back in Items are never
 //     mutated.
-//   - Memoization. Stability is an isomorphism invariant, so verdicts are
-//     cached under (canonical form, α, concept). Repeated gadgets and
-//     overlapping α grids across sweeps hit the cache instead of re-running
-//     coalition search. The cache can only reuse verdicts, never change
-//     them; the differential tests pin cached and parallel sweeps to the
-//     sequential checkers bit for bit.
+//   - Memoization. Stability is an isomorphism invariant, so the engine
+//     caches parametric certificates under (canonical form, concept): one
+//     eq.AlphaSet answers every edge price at once (v5). Repeated gadgets
+//     and arbitrarily dense or shifted α grids across sweeps hit the
+//     certificate cache instead of re-running coalition search — per-class
+//     equilibrium work is independent of the grid density. The cache can
+//     only reuse certificates, never change them; the differential tests
+//     pin cached and parallel sweeps to the sequential checkers bit for
+//     bit, and the certificate fuzz harness pins every certificate to the
+//     per-α checkers across a dense rational grid.
 //
 // The enumeration feeding the grid is symmetry-pruned (graph.AllClasses):
 // non-minimal labelings are rejected by an early-aborting automorphism
@@ -30,14 +34,15 @@
 // the bitset adjacency kernel, which allocate nothing per verdict at sweep
 // sizes.
 //
-// Workers claim tasks from a shared atomic counter — idle workers steal the
-// next undone (α, graph) pair, so a single expensive BSE instance cannot
-// stall the rest of the grid behind a static partition.
+// Workers claim tasks from a shared atomic counter — one task per graph
+// class (v5: a class's certificates answer its whole α-row at once), so a
+// single expensive BSE instance cannot stall the rest of the stream
+// behind a static partition.
 //
 // Every entry point takes a context.Context. Cancelling it stops the sweep
-// within one task granularity: workers check the context between tasks,
+// within one class granularity: workers check the context between classes,
 // drain without leaking goroutines, and Run returns the partial Result
-// (completed tasks filled in, Completed counting them) together with
+// (completed items filled in, Completed counting them) together with
 // ctx.Err().
 package sweep
 
@@ -46,6 +51,7 @@ import (
 	"fmt"
 	"iter"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -90,8 +96,9 @@ type Options struct {
 	Workers int
 	// Source selects connected graphs (the default) or free trees.
 	Source Source
-	// Cache, when non-nil, memoizes verdicts across sweeps under
-	// (canonical form, α, concept). Nil disables memoization.
+	// Cache, when non-nil, memoizes parametric stability certificates
+	// across sweeps under (canonical form, concept) — one certificate
+	// answers every α grid. Nil disables memoization.
 	Cache *Cache
 	// Rho additionally computes the social cost ratio ρ of every graph,
 	// for Price-of-Anarchy reductions over the sweep.
@@ -129,6 +136,16 @@ type Item struct {
 	FromCache bool
 }
 
+// ConceptCritical is one concept's exact critical-price report: the
+// sorted rational α values at which some enumerated class's stability
+// verdict flips. Between consecutive breakpoints (and on each breakpoint
+// itself — stable sets may be closed or even degenerate there) every
+// class's verdict, and therefore every Table 1 row, is constant.
+type ConceptCritical struct {
+	Concept eq.Concept
+	Alphas  []game.Alpha
+}
+
 // Result is the outcome of a sweep.
 type Result struct {
 	N        int
@@ -154,9 +171,27 @@ type Result struct {
 	// of Items are zero values.
 	Completed int
 	// Hits and Misses count per-concept verdicts served by the cache and
-	// computed by checkers, respectively.
+	// answered by freshly computed certificates, respectively — verdict
+	// units (one per grid α), so the counters compare across engine
+	// generations even though work is now done per certificate.
 	Hits, Misses int64
+	// Certs holds the exact stable-α certificate of every (class, concept)
+	// pair, indexed Certs[gi*len(Concepts)+ci] — the parametric object the
+	// grid verdicts in Items are read off of. Classes unfinished on a
+	// cancelled sweep hold zero-value (empty) sets.
+	Certs []eq.AlphaSet
+	// Critical reports, per concept, the exact rational α breakpoints at
+	// which any class's verdict flips — the sweep's grid answers upgraded
+	// to whole-axis answers. It is nil on a cancelled (partial) sweep.
+	Critical []ConceptCritical
+	// Certified counts the certificates computed by scans this run (as
+	// opposed to served from the cache). It is independent of the α-grid
+	// density: the O(1)-per-α property BenchmarkSweepGridScaling pins.
+	Certified int64
 }
+
+// Cert returns the certificate of graph class gi under Concepts[ci].
+func (r *Result) Cert(gi, ci int) eq.AlphaSet { return r.Certs[gi*len(r.Concepts)+ci] }
 
 // Run executes the sweep described by opts. Cancelling ctx stops the sweep
 // within one task granularity; Run then still returns the partial Result —
@@ -237,15 +272,20 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 
 	total := len(res.Items)
-	allMask := Vector(1)<<len(opts.Concepts) - 1
-	var next, hits, misses atomic.Int64
+	nAlphas := len(opts.Alphas)
+	res.Certs = make([]eq.AlphaSet, len(graphs)*len(opts.Concepts))
+	var next, hits, misses, certified atomic.Int64
+	// The task unit is one graph class: a worker fetches (or computes) one
+	// certificate per concept and reads the entire α-row of verdicts off
+	// it, so per-class equilibrium work is independent of the grid density.
 	// The channel buffers every possible task, so a worker's send never
 	// blocks and cancellation cannot strand a worker mid-handoff.
 	type completion struct {
-		t  int
-		it Item
+		gi    int
+		items []Item        // one per α, in α order
+		certs []eq.AlphaSet // one per concept
 	}
-	completions := make(chan completion, total)
+	completions := make(chan completion, len(graphs))
 	var wg sync.WaitGroup
 	for w := 0; w < res.Workers; w++ {
 		wg.Add(1)
@@ -253,48 +293,58 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			defer wg.Done()
 			ev := eq.NewEvaluator()
 			for ctx.Err() == nil {
-				t := int(next.Add(1)) - 1
-				if t >= total {
+				gi := int(next.Add(1)) - 1
+				if gi >= len(graphs) {
 					return
 				}
-				ai, gi := t/len(graphs), t%len(graphs)
 				g := graphs[gi]
-				it := Item{AlphaIndex: ai, GraphIndex: gi, Graph: g}
-				vec, missing := Vector(0), allMask
-				if opts.Cache != nil {
-					vec, missing = opts.Cache.lookup(keys[gi], opts.Alphas[ai], opts.Concepts)
-				}
-				hits.Add(int64(popcount16(allMask &^ missing)))
-				misses.Add(int64(popcount16(missing)))
-				if missing == 0 {
-					it.FromCache = true
-				} else {
-					// Evaluate on a private clone: checkers mutate the
-					// graph while exploring moves. Bind computes the
-					// baseline agent costs once for the whole concept
-					// grid of the task.
-					h := g.Clone()
-					ev.Bind(games[ai], h)
-					for i, concept := range opts.Concepts {
-						if missing&(1<<i) == 0 {
-							continue
-						}
-						if ev.CheckBound(concept).Stable {
-							vec |= 1 << i
-						}
-					}
+				items := make([]Item, nAlphas)
+				certs := make([]eq.AlphaSet, len(opts.Concepts))
+				fromCache := true
+				bound := false
+				for ci, concept := range opts.Concepts {
+					set, ok := eq.AlphaSet{}, false
 					if opts.Cache != nil {
-						opts.Cache.store(keys[gi], opts.Alphas[ai], opts.Concepts, missing, vec)
+						set, ok = opts.Cache.lookupCert(keys[gi], concept, nAlphas)
+					}
+					if ok {
+						hits.Add(int64(nAlphas))
+					} else {
+						misses.Add(int64(nAlphas))
+						fromCache = false
+						if !bound {
+							// Certify on a private clone: the scans mutate
+							// the graph while exploring deviations. One Bind
+							// computes the (α-independent) baseline agent
+							// costs for the whole concept grid of the class.
+							ev.Bind(games[0], g.Clone())
+							bound = true
+						}
+						set = ev.CertifyBound(concept)
+						certified.Add(1)
+						if opts.Cache != nil {
+							opts.Cache.PutCert(keys[gi], concept, set)
+						}
+					}
+					certs[ci] = set
+					for ai := range opts.Alphas {
+						if set.Contains(opts.Alphas[ai]) {
+							items[ai].Vector |= 1 << ci
+						}
 					}
 				}
-				it.Vector = vec
-				if opts.Rho {
-					// The evaluator's scratch-buffer ρ is bit-identical to
-					// games[ai].Rho(g); g is only read, so sharing it
-					// across workers is safe.
-					it.Rho = ev.Rho(games[ai], g)
+				for ai := range items {
+					items[ai].AlphaIndex, items[ai].GraphIndex = ai, gi
+					items[ai].Graph = g
+					items[ai].FromCache = fromCache
+					if opts.Rho {
+						// The evaluator's scratch-buffer ρ is bit-identical
+						// to games[ai].Rho(g); g is only read, so sharing it
+						// across workers is safe.
+						items[ai].Rho = ev.Rho(games[ai], g)
+					}
 				}
-				completions <- completion{t, it}
+				completions <- completion{gi, items, certs}
 			}
 		}()
 	}
@@ -303,18 +353,23 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		close(completions)
 	}()
 
-	// Coordinate: collect completions (in scheduling order), emit OnItem in
-	// strict task order. The range ends when every worker has drained —
-	// either all tasks are done or ctx fired — so no goroutine outlives Run.
+	// Coordinate: collect class completions (in scheduling order), emit
+	// OnItem in strict α-major item order and Progress once per item. The
+	// range ends when every worker has drained — either all tasks are done
+	// or ctx fired — so no goroutine outlives Run.
 	have := make([]bool, total)
 	emitted := 0
 	for c := range completions {
-		res.Items[c.t] = c.it
-		have[c.t] = true
-		res.Completed++
-		if opts.Progress != nil {
-			opts.Progress(res.Completed, total)
+		for ai := range c.items {
+			t := ai*len(graphs) + c.gi
+			res.Items[t] = c.items[ai]
+			have[t] = true
+			res.Completed++
+			if opts.Progress != nil {
+				opts.Progress(res.Completed, total)
+			}
 		}
+		copy(res.Certs[c.gi*len(opts.Concepts):(c.gi+1)*len(opts.Concepts)], c.certs)
 		if opts.OnItem != nil {
 			for emitted < total && have[emitted] {
 				opts.OnItem(res.Items[emitted])
@@ -322,11 +377,37 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 			}
 		}
 	}
-	res.Hits, res.Misses = hits.Load(), misses.Load()
+	res.Hits, res.Misses, res.Certified = hits.Load(), misses.Load(), certified.Load()
 	if err := ctx.Err(); err != nil {
 		return res, err
 	}
+	res.Critical = criticalOf(res)
 	return res, nil
+}
+
+// criticalOf aggregates the per-class certificates into the per-concept
+// critical-price report: the sorted union of every class's breakpoints.
+// The union over a set is order-independent, so the report is identical
+// at every worker count.
+func criticalOf(r *Result) []ConceptCritical {
+	out := make([]ConceptCritical, len(r.Concepts))
+	for ci, concept := range r.Concepts {
+		seen := make(map[game.Alpha]bool)
+		for gi := 0; gi < r.Graphs; gi++ {
+			for _, bp := range r.Cert(gi, ci).Breakpoints() {
+				seen[bp] = true
+			}
+		}
+		alphas := make([]game.Alpha, 0, len(seen))
+		for a := range seen {
+			alphas = append(alphas, a)
+		}
+		sort.Slice(alphas, func(i, j int) bool {
+			return alphas[i].Num()*alphas[j].Den() < alphas[j].Num()*alphas[i].Den()
+		})
+		out[ci] = ConceptCritical{Concept: concept, Alphas: alphas}
+	}
+	return out
 }
 
 // Stream executes the sweep described by opts and returns an iterator over
@@ -394,6 +475,84 @@ func (r *Result) Report() string {
 	return b.String()
 }
 
+// CriticalReport renders the exact critical-α analysis: per concept, the
+// rational breakpoints at which some class's verdict flips, and the number
+// of stable classes on every region between (and at) the breakpoints —
+// the whole α-axis answered exactly, not sampled. Equal option grids
+// produce byte-identical reports at every worker count and cache state.
+// It returns "" on a cancelled sweep (Critical is nil).
+func (r *Result) CriticalReport() string {
+	if r.Critical == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "critical n=%d source=%s: %d classes, exact stable-α structure\n",
+		r.N, r.Source, r.Graphs)
+	for ci, cc := range r.Critical {
+		fmt.Fprintf(&b, "%-6s breakpoints:", cc.Concept)
+		if len(cc.Alphas) == 0 {
+			b.WriteString(" (none)")
+		}
+		for _, a := range cc.Alphas {
+			fmt.Fprintf(&b, " %s", a)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "%-6s stable classes:", cc.Concept)
+		for _, reg := range regionsOf(cc.Alphas) {
+			count := 0
+			for gi := 0; gi < r.Graphs; gi++ {
+				if r.Cert(gi, ci).Contains(reg.probe) {
+					count++
+				}
+			}
+			fmt.Fprintf(&b, " %s:%d", reg.label, count)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// region is one α-axis segment of a critical report: a printable label
+// and an exact interior probe price at which every class's verdict is
+// constant over the segment.
+type region struct {
+	label string
+	probe game.Alpha
+}
+
+// regionsOf splits [0, ∞) at the given sorted breakpoints into the
+// segments on which all verdicts are constant — including the breakpoints
+// themselves as singletons, where stable sets may be closed or degenerate.
+func regionsOf(bps []game.Alpha) []region {
+	if len(bps) == 0 {
+		return []region{{label: "[0,∞)", probe: game.A(1)}}
+	}
+	var out []region
+	first := bps[0]
+	if first.Num() > 0 {
+		out = append(out, region{
+			label: fmt.Sprintf("[0,%s)", first),
+			probe: game.AFrac(first.Num(), 2*first.Den()),
+		})
+	}
+	for i, bp := range bps {
+		out = append(out, region{label: fmt.Sprintf("{%s}", bp), probe: bp})
+		if i+1 < len(bps) {
+			next := bps[i+1]
+			out = append(out, region{
+				label: fmt.Sprintf("(%s,%s)", bp, next),
+				probe: game.AFrac(bp.Num()*next.Den()+next.Num()*bp.Den(), 2*bp.Den()*next.Den()),
+			})
+		}
+	}
+	last := bps[len(bps)-1]
+	out = append(out, region{
+		label: fmt.Sprintf("(%s,∞)", last),
+		probe: game.AFrac(last.Num()+last.Den(), last.Den()),
+	})
+	return out
+}
+
 // WorstStable reduces one grid cell to its Price-of-Anarchy outcome: the
 // maximal ρ over the graphs stable for Concepts[ci] at Alphas[ai], the
 // first witness attaining it in enumeration order, and the count of stable
@@ -411,12 +570,4 @@ func (r *Result) WorstStable(ai, ci int) (rho float64, witness *graph.Graph, sta
 		}
 	}
 	return rho, witness, stable
-}
-
-func popcount16(v Vector) int {
-	c := 0
-	for ; v != 0; v &= v - 1 {
-		c++
-	}
-	return c
 }

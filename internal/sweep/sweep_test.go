@@ -88,8 +88,17 @@ func TestSweepCacheDoesNotChangeOutcome(t *testing.T) {
 	if uncached.Hits != 0 || uncached.Misses != int64(len(uncached.Items)*len(uncached.Concepts)) {
 		t.Errorf("uncached run: %d hits, %d misses; want all misses", uncached.Hits, uncached.Misses)
 	}
-	if want := len(cold.Items) * len(cold.Concepts); cache.Len() != want {
-		t.Errorf("cache holds %d verdicts, want %d", cache.Len(), want)
+	// One certificate per (class, concept) — not one verdict per (α,
+	// class, concept) — is the whole economy of the parametric engine.
+	if want := cold.Graphs * len(cold.Concepts); cache.Len() != want {
+		t.Errorf("cache holds %d entries, want %d certificates", cache.Len(), want)
+	}
+	if st := cache.Stats(); st.Certificates != cold.Graphs*len(cold.Concepts) || st.Verdicts != 0 {
+		t.Errorf("cache stats %+v, want all entries to be certificates", st)
+	}
+	if cold.Certified != int64(cold.Graphs*len(cold.Concepts)) || warm.Certified != 0 {
+		t.Errorf("certified: cold %d warm %d, want %d and 0",
+			cold.Certified, warm.Certified, cold.Graphs*len(cold.Concepts))
 	}
 }
 
