@@ -18,6 +18,8 @@
 //	     [-concepts <list>] [-trees] [-json] [-store <dir>]
 //	bncg serve [-addr <host:port>] [-store <dir>] [-workers <w>]
 //	     [-max-n <n>] [-max-tree-n <n>] [-request-timeout <d>]
+//	     [-rate <r/s>] [-burst <b>] [-max-inflight <c>] [-max-queue <q>]
+//	     [-queue-wait <d>] [-readonly] [-rewarm-interval <d>]
 //	bncg store stats|compact -dir <dir>
 //
 // The global -timeout flag bounds the whole invocation; SIGINT (Ctrl-C)
@@ -30,7 +32,9 @@
 // store, appends every newly computed verdict to it, and checkpoints its
 // progress — an interrupted grid continues with `sweep -store <dir>
 // -resume` and finishes with byte-identical Items. serve backs the HTTP
-// daemon with the same store.
+// daemon with the same store; serve -readonly boots a read replica that
+// opens the store without the writer lock, never persists, and re-warms
+// its cache from the writer's flushed segments every -rewarm-interval.
 //
 // Graphs are read in the plain text edge-list format ("n <count>" then one
 // "u v" pair per line); with no -file, standard input is read.
@@ -628,22 +632,39 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	maxTreeN := fs.Int("max-tree-n", 0, "cap on n for free-tree requests (0 = default 12)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-computation deadline (0 = default 2m)")
 	flushInterval := fs.Duration("flush-interval", 2*time.Second, "store fsync batching interval")
+	readonly := fs.Bool("readonly", false, "serve as a read replica: open -store without the writer lock, never persist, re-warm periodically")
+	rewarmInterval := fs.Duration("rewarm-interval", 0, "replica re-warm period (0 = default 5s)")
+	rate := fs.Float64("rate", 0, "per-client rate limit in requests/second (0 = unlimited)")
+	burst := fs.Int("burst", 0, "per-client token-bucket burst (0 = default 1; only with -rate)")
+	maxInflight := fs.Int("max-inflight", 0, "global concurrent-request cap (0 = default 256)")
+	maxQueue := fs.Int("max-queue", 0, "bounded request queue ahead of the cap (0 = default: the cap)")
+	queueWait := fs.Duration("queue-wait", 0, "per-request queue deadline (0 = default 1s)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *readonly && *storeDir == "" {
+		return fmt.Errorf("serve: -readonly requires -store (a replica serves a writer's store)")
 	}
 	cache := bncg.SharedSweepCache()
 	var st *bncg.VerdictStore
 	if *storeDir != "" {
 		var err error
-		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{FlushInterval: *flushInterval})
+		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{
+			FlushInterval: *flushInterval,
+			ReadOnly:      *readonly,
+		})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
-		defer cache.Persist(nil)
 		loaded := cache.WarmStart(st)
-		cache.Persist(st)
-		fmt.Fprintf(stdout, "store: %s (%d verdicts warm-started)\n", *storeDir, loaded)
+		if *readonly {
+			fmt.Fprintf(stdout, "store: %s (replica, %d records warm-started)\n", *storeDir, loaded)
+		} else {
+			defer cache.Persist(nil)
+			cache.Persist(st)
+			fmt.Fprintf(stdout, "store: %s (%d verdicts warm-started)\n", *storeDir, loaded)
+		}
 	}
 	srv := bncg.NewServer(bncg.ServerConfig{
 		Cache:          cache,
@@ -652,7 +673,15 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxN:           *maxN,
 		MaxTreeN:       *maxTreeN,
 		RequestTimeout: *reqTimeout,
+		RatePerSec:     *rate,
+		Burst:          *burst,
+		MaxInflight:    *maxInflight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		ReadOnly:       *readonly,
+		RewarmInterval: *rewarmInterval,
 	})
+	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

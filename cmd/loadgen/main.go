@@ -1,0 +1,204 @@
+// Command loadgen is a wrk-style HTTP load driver for a running bncg
+// daemon. It hammers one endpoint with a fixed number of concurrent
+// clients for a fixed duration (or request budget) and reports
+// throughput and a latency distribution:
+//
+//	bncg serve -addr 127.0.0.1:8371 -store /tmp/sv &
+//	go run ./cmd/loadgen -url 'http://127.0.0.1:8371/v1/check?n=5&class=0&concept=ne&alpha=2' \
+//	    -c 16 -duration 10s
+//
+// With -json the summary is machine-readable, which is what the CI HTTP
+// benchmark gate consumes. Status codes other than -expect-status count
+// as errors; any error makes the exit status non-zero (after the summary
+// is printed) so a smoke run doubles as a correctness check.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// summary is the aggregate result of one load run.
+type summary struct {
+	URL       string         `json:"url"`
+	Clients   int            `json:"clients"`
+	Requests  int            `json:"requests"`
+	Errors    int            `json:"errors"`
+	ByStatus  map[string]int `json:"by_status"`
+	Elapsed   float64        `json:"elapsed_seconds"`
+	ReqPerSec float64        `json:"req_per_sec"`
+	LatencyMS latencyMS      `json:"latency_ms"`
+}
+
+type latencyMS struct {
+	P50 float64 `json:"p50"`
+	P90 float64 `json:"p90"`
+	P99 float64 `json:"p99"`
+	Max float64 `json:"max"`
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	url := fs.String("url", "", "target URL (required)")
+	method := fs.String("method", http.MethodGet, "HTTP method")
+	bodyFile := fs.String("body-file", "", "file sent as the request body on every request")
+	contentType := fs.String("content-type", "text/plain", "Content-Type header when a body is sent")
+	clients := fs.Int("c", 8, "concurrent clients")
+	duration := fs.Duration("duration", 5*time.Second, "run length (ignored when -n > 0)")
+	total := fs.Int("n", 0, "total request budget (0 = run for -duration)")
+	timeout := fs.Duration("timeout", 10*time.Second, "per-request timeout")
+	expect := fs.Int("expect-status", http.StatusOK, "status code counted as success")
+	asJSON := fs.Bool("json", false, "emit the summary as JSON")
+	maxErrs := fs.Int("max-errors", 0, "tolerated error count before a non-zero exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *url == "" {
+		return fmt.Errorf("-url is required")
+	}
+	if *clients < 1 {
+		return fmt.Errorf("-c must be at least 1")
+	}
+	var body []byte
+	if *bodyFile != "" {
+		var err error
+		if body, err = os.ReadFile(*bodyFile); err != nil {
+			return err
+		}
+	}
+
+	transport := http.DefaultTransport.(*http.Transport).Clone()
+	transport.MaxIdleConns = *clients
+	transport.MaxIdleConnsPerHost = *clients
+	client := &http.Client{Transport: transport, Timeout: *timeout}
+
+	// Each worker drains a shared request budget: a closed channel when
+	// duration-bound, a counted one when request-bound.
+	budget := make(chan struct{})
+	if *total > 0 {
+		counted := make(chan struct{}, *total)
+		for i := 0; i < *total; i++ {
+			counted <- struct{}{}
+		}
+		close(counted)
+		budget = counted
+	}
+	deadline := time.Now().Add(*duration)
+
+	type workerResult struct {
+		latencies []time.Duration
+		byStatus  map[int]int
+		netErrs   int
+	}
+	results := make([]workerResult, *clients)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < *clients; w++ {
+		wg.Add(1)
+		go func(res *workerResult) {
+			defer wg.Done()
+			res.byStatus = make(map[int]int)
+			for {
+				if *total > 0 {
+					if _, ok := <-budget; !ok {
+						return
+					}
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				req, err := http.NewRequest(*method, *url, bytes.NewReader(body))
+				if err != nil {
+					res.netErrs++
+					return // malformed target: every retry fails identically
+				}
+				if body != nil {
+					req.Header.Set("Content-Type", *contentType)
+				}
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					res.netErrs++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				res.latencies = append(res.latencies, time.Since(t0))
+				res.byStatus[resp.StatusCode]++
+			}
+		}(&results[w])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	byStatus := make(map[string]int)
+	requests, errs := 0, 0
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		requests += len(res.latencies) + res.netErrs
+		errs += res.netErrs
+		if res.netErrs > 0 {
+			byStatus["net_error"] += res.netErrs
+		}
+		for code, n := range res.byStatus {
+			byStatus[fmt.Sprint(code)] += n
+			if code != *expect {
+				errs += n
+			}
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	quantile := func(q float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(all)-1))
+		return ms(all[i])
+	}
+	sum := summary{
+		URL:       *url,
+		Clients:   *clients,
+		Requests:  requests,
+		Errors:    errs,
+		ByStatus:  byStatus,
+		Elapsed:   elapsed.Seconds(),
+		ReqPerSec: float64(requests) / elapsed.Seconds(),
+		LatencyMS: latencyMS{P50: quantile(0.50), P90: quantile(0.90), P99: quantile(0.99), Max: quantile(1)},
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(sum); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(stdout, "%d requests in %.2fs (%d clients): %.1f req/s\n",
+			sum.Requests, sum.Elapsed, sum.Clients, sum.ReqPerSec)
+		fmt.Fprintf(stdout, "latency ms: p50=%.2f p90=%.2f p99=%.2f max=%.2f\n",
+			sum.LatencyMS.P50, sum.LatencyMS.P90, sum.LatencyMS.P99, sum.LatencyMS.Max)
+		for code, n := range byStatus {
+			fmt.Fprintf(stdout, "  status %s: %d\n", code, n)
+		}
+	}
+	if errs > *maxErrs {
+		return fmt.Errorf("%d requests failed (status != %d), tolerated %d", errs, *expect, *maxErrs)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLoadgenRequestBudget(t *testing.T) {
+	var hits int64
+	mu := make(chan struct{}, 1)
+	mu <- struct{}{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-mu
+		hits++
+		mu <- struct{}{}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-c", "4", "-n", "40", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v\noutput: %s", err, out.String())
+	}
+	var sum summary
+	if err := json.Unmarshal(out.Bytes(), &sum); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, out.String())
+	}
+	if sum.Requests != 40 {
+		t.Fatalf("requests = %d, want exactly the -n budget 40", sum.Requests)
+	}
+	if hits != 40 {
+		t.Fatalf("server saw %d hits, want 40", hits)
+	}
+	if sum.Errors != 0 || sum.ByStatus["200"] != 40 {
+		t.Fatalf("unexpected errors/status map: %+v", sum)
+	}
+	if sum.ReqPerSec <= 0 || sum.LatencyMS.P50 < 0 || sum.LatencyMS.Max < sum.LatencyMS.P50 {
+		t.Fatalf("implausible latency summary: %+v", sum)
+	}
+}
+
+func TestLoadgenCountsUnexpectedStatusAsError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"nope","status":429}`, http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-c", "2", "-n", "6", "-json"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "failed") {
+		t.Fatalf("want failure for non-200 responses, got err=%v", err)
+	}
+	var sum summary
+	if jerr := json.Unmarshal(out.Bytes(), &sum); jerr != nil {
+		t.Fatalf("summary still expected before the error: %v", jerr)
+	}
+	if sum.Errors != 6 || sum.ByStatus["429"] != 6 {
+		t.Fatalf("errors=%d by_status=%v, want all 6 as 429 errors", sum.Errors, sum.ByStatus)
+	}
+
+	// Flipping the expectation turns the same traffic into a clean run.
+	out.Reset()
+	if err := run([]string{"-url", ts.URL, "-c", "2", "-n", "6", "-expect-status", "429"}, &out); err != nil {
+		t.Fatalf("429 expected, still failed: %v", err)
+	}
+}
+
+func TestLoadgenFlagValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -url must fail")
+	}
+	if err := run([]string{"-url", "http://x", "-c", "0"}, &out); err == nil {
+		t.Fatal("-c 0 must fail")
+	}
+}
+
+func TestLoadgenPostBody(t *testing.T) {
+	want := "n 3\n0 1\n0 2\n"
+	bodyFile := filepath.Join(t.TempDir(), "graph.txt")
+	if err := os.WriteFile(bodyFile, []byte(want), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		b, _ := io.ReadAll(r.Body)
+		if r.Method != http.MethodPost || string(b) != want || r.Header.Get("Content-Type") != "text/plain" {
+			http.Error(w, "bad request echo", http.StatusBadRequest)
+			return
+		}
+		w.Write([]byte("ok"))
+	}))
+	defer ts.Close()
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-method", "POST", "-body-file", bodyFile,
+		"-c", "2", "-n", "10"}, &out); err != nil {
+		t.Fatalf("run: %v\n%s", err, out.String())
+	}
+}

@@ -155,6 +155,46 @@
 //     per-α checkers over a dense rational grid including every
 //     certificate's own breakpoints and their midpoints.
 //
+// # v6: the production-hardened daemon
+//
+// bncg serve graduates from a demo front end to an operable service,
+// proven by an in-repo load-test harness:
+//
+//   - GET /metrics exposes hand-rolled Prometheus text exposition (no
+//     client dependency): per-route request counters by status code,
+//     per-route latency histograms (100µs–10s buckets), in-flight and
+//     queue gauges, admission rejections by reason, the cache hit ratio,
+//     singleflight and store statistics, and replica re-warm counters.
+//   - Admission control sheds load before work starts: per-client
+//     token-bucket rate limiting (-rate/-burst, keyed by remote IP), a
+//     global concurrent-request cap with a bounded FIFO queue
+//     (-max-inflight/-max-queue/-queue-wait). Over-budget clients get an
+//     immediate 429 with Retry-After, a full queue a fast 429, an expired
+//     queue wait a 503 — all in the pinned JSON error schema
+//     {"error": "...", "status": N} that every endpoint's every failure
+//     mode now shares. /healthz and /metrics bypass admission, so a
+//     saturated daemon stays observable.
+//   - bncg serve -readonly is a read replica: it opens the shared store
+//     directory without the single-writer flock, warm-starts, and
+//     re-warms on a ticker (-rewarm-interval) via Store.Refresh — an
+//     incremental decode of exactly the frames the writer flushed since
+//     the last pass, tolerating torn tails (retried next tick) and
+//     writer compactions (detected by segment shrink, full rebuild).
+//     Verdicts and certificates are pure functions of their keys, so
+//     replicas converge without any invalidation protocol; the replica
+//     answers byte-identically to the writer for every persisted
+//     (class, concept, α).
+//   - cmd/loadgen is a wrk-style HTTP driver (concurrency, duration or
+//     request budget, latency percentiles, JSON summaries) and
+//     BenchmarkServeCheck* measure the certified-cache /v1/check hot
+//     path end to end over HTTP; their trajectory lives in BENCH_http.json
+//     and is gated in CI next to the sweep benchmarks, after a loadgen
+//     smoke against the real booted daemon.
+//   - The store grew a fault-injection seam (Options.WrapSegmentWriter):
+//     failing write/sync paths drive the flush-failure accounting that
+//     /healthz surfaces as "degraded" — the daemon serves stale from
+//     memory and recovers losslessly once the fault heals.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the recorded reproduction results, the file format of the verdict
 // store, the NDJSON/JSON schemas of the serving endpoints, the

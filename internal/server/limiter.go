@@ -1,0 +1,161 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Admission control: the daemon sheds load before work starts instead of
+// degrading under it. Two independent mechanisms compose:
+//
+//   - tokenBuckets rate-limits per client (keyed by remote IP) with a
+//     classic lazily-refilled token bucket. A client over its budget gets
+//     an immediate 429 with Retry-After — no queue slot, no computation.
+//   - gate caps globally concurrent requests with a semaphore and a
+//     bounded FIFO queue in front of it. When every slot is busy a request
+//     waits up to its queue deadline; when the queue itself is full the
+//     request is rejected immediately (fast 429), so a traffic spike
+//     costs waiting clients latency but never unbounded memory or
+//     goroutine pile-up.
+//
+// Observability endpoints (/healthz, /metrics) bypass both — an operator
+// must be able to see a saturated daemon.
+
+// tokenBuckets is a per-client token-bucket rate limiter.
+type tokenBuckets struct {
+	rate  float64 // tokens added per second
+	burst float64 // bucket capacity
+
+	mu        sync.Mutex
+	m         map[string]*bucket
+	lastSweep time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newTokenBuckets returns a limiter granting rate requests/second with
+// bursts of burst, or nil when rate is zero (rate limiting disabled).
+func newTokenBuckets(rate float64, burst int) *tokenBuckets {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBuckets{rate: rate, burst: float64(burst), m: make(map[string]*bucket)}
+}
+
+// allow reports whether one request from key is admitted at now, spending
+// a token if so.
+func (t *tokenBuckets) allow(key string, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	b := t.m[key]
+	if b == nil {
+		// Idle buckets refill to capacity and then carry no information;
+		// sweep them occasionally so one scan per client IP cannot grow the
+		// map forever.
+		if len(t.m) >= 1024 && now.Sub(t.lastSweep) > time.Minute {
+			for k, old := range t.m {
+				if now.Sub(old.last).Seconds()*t.rate >= t.burst {
+					delete(t.m, k)
+				}
+			}
+			t.lastSweep = now
+		}
+		b = &bucket{tokens: t.burst, last: now}
+		t.m[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens += dt * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clientKey identifies the client of r for rate limiting: the remote IP
+// without the ephemeral port, so one client's connections share a bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// Admission rejections, distinguished so the middleware can map them to
+// distinct status codes and metric reasons.
+var (
+	errQueueFull    = errors.New("server at capacity: request queue full")
+	errQueueTimeout = errors.New("server at capacity: timed out waiting for an in-flight slot")
+)
+
+// gate is the global concurrency cap: maxInflight slots, at most maxQueue
+// requests waiting, each for at most wait.
+type gate struct {
+	sem      chan struct{}
+	maxQueue int
+	wait     time.Duration
+
+	mu     sync.Mutex
+	queued int
+}
+
+func newGate(maxInflight, maxQueue int, wait time.Duration) *gate {
+	return &gate{sem: make(chan struct{}, maxInflight), maxQueue: maxQueue, wait: wait}
+}
+
+func (g *gate) queuedCount() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.queued
+}
+
+// enter acquires an in-flight slot, queuing if none is free. It returns
+// nil (slot held; the caller must leave()), errQueueFull, errQueueTimeout,
+// or the context's error if the client gave up while queued.
+func (g *gate) enter(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	g.mu.Lock()
+	if g.queued >= g.maxQueue {
+		g.mu.Unlock()
+		return errQueueFull
+	}
+	g.queued++
+	g.mu.Unlock()
+	defer func() {
+		g.mu.Lock()
+		g.queued--
+		g.mu.Unlock()
+	}()
+	timer := time.NewTimer(g.wait)
+	defer timer.Stop()
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-timer.C:
+		return errQueueTimeout
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (g *gate) leave() { <-g.sem }

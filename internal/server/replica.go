@@ -1,0 +1,45 @@
+package server
+
+import "time"
+
+// Read-replica mode. A replica daemon opens the shared store directory
+// read-only — no writer flock, so it coexists with a live `bncg sweep
+// -store` or writer `bncg serve` — warm-starts its cache from the
+// persisted records, and periodically re-warms: Store.Refresh decodes the
+// frames the writer flushed since the last pass, and Cache.WarmStart
+// folds them into the serving cache. Verdicts and certificates are pure
+// functions of their keys, so replicas need no invalidation protocol:
+// convergence is append-only and every answer a replica serves is
+// byte-identical to the writer's for every persisted (class, concept, α).
+
+// startRewarm launches the re-warm loop; Close stops it.
+func (s *Server) startRewarm() {
+	s.rewarmStop = make(chan struct{})
+	s.rewarmDone = make(chan struct{})
+	go func() {
+		defer close(s.rewarmDone)
+		tick := time.NewTicker(s.cfg.RewarmInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tick.C:
+				_, _ = s.rewarm()
+			case <-s.rewarmStop:
+				return
+			}
+		}
+	}()
+}
+
+// rewarm runs one replica re-warm pass: pick up newly flushed store
+// frames, then fold the store into the cache. Errors (e.g. a torn read
+// racing the writer) leave the previous state serving and are retried on
+// the next tick.
+func (s *Server) rewarm() (loaded int, err error) {
+	if _, err := s.cfg.Store.Refresh(); err != nil {
+		return 0, err
+	}
+	loaded = s.cfg.Cache.WarmStart(s.cfg.Store)
+	s.metrics.rewarmed(loaded)
+	return loaded, nil
+}

@@ -26,11 +26,19 @@
 //	     possible; witness=1 forces recomputation so unstable verdicts
 //	     carry a witness move.
 //	GET  /healthz
-//	     — liveness plus cache, store and traffic statistics.
+//	     — liveness plus cache, store and traffic statistics; "degraded"
+//	     when store flushes are failing.
+//	GET  /metrics
+//	     — Prometheus text exposition: per-route request counters and
+//	     latency histograms, in-flight and queue gauges, cache hit ratio,
+//	     singleflight and store statistics (see metrics.go).
 //
 // Every request is bounded by Config.RequestTimeout and the Config size
-// caps; exceeding a cap is a 422, a malformed request a 400. Errors are
-// JSON objects {"error": "..."}.
+// caps; exceeding a cap is a 422, a malformed request a 400, and
+// admission control (limiter.go) sheds excess load with 429/503 before
+// any computation starts. Errors are JSON objects
+// {"error": "...", "status": N}. With Config.ReadOnly the daemon serves
+// as a read replica over a store a separate writer owns (replica.go).
 package server
 
 import (
@@ -79,6 +87,33 @@ type Config struct {
 	// RequestTimeout bounds every computation (default 2m). Shared
 	// computations time out as a whole, not per subscriber.
 	RequestTimeout time.Duration
+
+	// RatePerSec and Burst configure per-client (remote IP) token-bucket
+	// rate limiting. RatePerSec 0 disables it — the default. A client over
+	// budget gets an immediate 429 with Retry-After.
+	RatePerSec float64
+	Burst      int
+	// MaxInflight caps concurrently admitted requests (default 256);
+	// /healthz and /metrics bypass admission so a saturated daemon stays
+	// observable. MaxQueue bounds requests waiting for a slot (default
+	// MaxInflight) — a request arriving to a full queue is rejected
+	// immediately with 429. QueueWait bounds one request's time in the
+	// queue (default 1s); exceeding it is a 503.
+	MaxInflight int
+	MaxQueue    int
+	QueueWait   time.Duration
+
+	// ReadOnly marks the daemon a read replica: Store was opened read-only
+	// (no writer flock), nothing is ever persisted, and — when
+	// RewarmInterval is positive — a background loop re-warms the cache
+	// from segments the writer appended (Store.Refresh), so the replica
+	// converges on the writer's verdicts at memory speed. The caller must
+	// still warm-start the cache once before New.
+	ReadOnly bool
+	// RewarmInterval is the replica re-warm period (default 5s when
+	// ReadOnly and a Store are set; < 0 disables the loop, for tests that
+	// drive re-warms by hand).
+	RewarmInterval time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -100,46 +135,116 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Minute
 	}
+	if c.MaxInflight <= 0 {
+		c.MaxInflight = 256
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.RewarmInterval == 0 {
+		c.RewarmInterval = 5 * time.Second
+	}
 	return c
 }
 
-// Server is the HTTP handler of the serving daemon.
+// Server is the HTTP handler of the serving daemon. Close releases its
+// background resources (the replica re-warm loop, if any).
 type Server struct {
 	cfg     Config
 	mux     *http.ServeMux
 	sweeps  *flightGroup
 	calls   *callGroup
 	started time.Time
+	metrics *metricsRegistry
+	limiter *tokenBuckets
+	gate    *gate
 
 	inflight atomic.Int64
 	served   atomic.Int64
+
+	rewarmStop chan struct{}
+	rewarmDone chan struct{}
 }
 
 // New returns a Server for cfg.
 func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg.withDefaults(),
+		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		sweeps:  newFlightGroup(),
 		calls:   newCallGroup(),
 		started: time.Now(),
+		metrics: newMetricsRegistry(),
+		limiter: newTokenBuckets(cfg.RatePerSec, cfg.Burst),
+		gate:    newGate(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
 	}
 	s.mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/poa", s.handlePoA)
 	s.mux.HandleFunc("GET /v1/critical", s.handleCritical)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.cfg.ReadOnly && s.cfg.Store != nil && s.cfg.RewarmInterval > 0 {
+		s.startRewarm()
+	}
 	return s
 }
 
-// ServeHTTP implements http.Handler.
+// Close stops the replica re-warm loop, when one is running. The HTTP
+// listener's lifecycle belongs to the caller.
+func (s *Server) Close() error {
+	if s.rewarmStop != nil {
+		close(s.rewarmStop)
+		<-s.rewarmDone
+		s.rewarmStop, s.rewarmDone = nil, nil
+	}
+	return nil
+}
+
+// ServeHTTP implements http.Handler: admission control (rate limit, then
+// the global in-flight gate), the metrics middleware, and the mux.
+// Observability routes bypass admission — a saturated daemon must stay
+// diagnosable.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	route := metricRoute(r.URL.Path)
+	rec := &statusRecorder{ResponseWriter: w}
 	s.inflight.Add(1)
 	defer func() {
 		s.inflight.Add(-1)
 		s.served.Add(1)
+		s.metrics.observe(route, rec.status(), time.Since(start))
 	}()
-	s.mux.ServeHTTP(w, r)
+	if route != "/healthz" && route != "/metrics" {
+		if s.limiter != nil && !s.limiter.allow(clientKey(r), time.Now()) {
+			s.metrics.reject("rate")
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, &httpError{http.StatusTooManyRequests, "rate limit exceeded"})
+			return
+		}
+		switch err := s.gate.enter(r.Context()); {
+		case err == nil:
+			defer s.gate.leave()
+		case errors.Is(err, errQueueFull):
+			s.metrics.reject("capacity")
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, &httpError{http.StatusTooManyRequests, err.Error()})
+			return
+		case errors.Is(err, errQueueTimeout):
+			s.metrics.reject("queue_timeout")
+			rec.Header().Set("Retry-After", "1")
+			writeError(rec, &httpError{http.StatusServiceUnavailable, err.Error()})
+			return
+		default: // client gave up while queued
+			writeError(rec, err)
+			return
+		}
+	}
+	s.mux.ServeHTTP(rec, r)
 }
 
 // httpError is a client-visible request failure.
@@ -158,15 +263,30 @@ func overLimit(format string, args ...any) *httpError {
 	return &httpError{http.StatusUnprocessableEntity, fmt.Sprintf(format, args...)}
 }
 
+// errorBody is the stable JSON error schema of every endpoint: the
+// human-readable message plus the status code repeated in the body, so
+// clients parsing NDJSON or logs see the code without the transport
+// headers. Pinned by the table-driven error tests; extend it, never
+// change existing fields.
+type errorBody struct {
+	Error  string `json:"error"`
+	Status int    `json:"status"`
+}
+
 func writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var he *httpError
-	if errors.As(err, &he) {
+	switch {
+	case errors.As(err, &he):
 		status = he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		status = http.StatusServiceUnavailable
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+	json.NewEncoder(w).Encode(errorBody{Error: err.Error(), Status: status})
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -543,6 +663,10 @@ type checkResponse struct {
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	// The other endpoints bound their computations through the flight
+	// groups; /v1/check computes inline, so it carries its own deadline.
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
 	alpha, err := game.ParseAlpha(r.URL.Query().Get("alpha"))
 	if err != nil {
 		writeError(w, badRequest("%v", err))
@@ -584,16 +708,18 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	resp := checkResponse{N: g.N(), Alpha: alpha.String()}
 	ev := eq.NewEvaluator()
 	for _, concept := range concepts {
-		if r.Context().Err() != nil {
-			writeError(w, r.Context().Err())
+		if ctx.Err() != nil {
+			writeError(w, ctx.Err())
 			return
 		}
 		key := sweep.Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den(), Concept: concept}
 		v := checkVerdict{Concept: concept.String()}
 		if set, ok := s.cfg.Cache.GetCert(canon, concept); ok && !(wantWitness && !set.Contains(alpha)) {
 			// A parametric certificate answers any α, including prices no
-			// sweep ever put on a grid.
+			// sweep ever put on a grid. GetCert is uncounted; credit the
+			// hit here so certificate-only traffic moves the hit ratio.
 			v.Stable, v.FromCache = set.Contains(alpha), true
+			s.cfg.Cache.CountHit()
 		} else if stable, ok := s.cfg.Cache.Get(key); ok && !(wantWitness && !stable) {
 			v.Stable, v.FromCache = stable, true
 		} else {
@@ -613,20 +739,31 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 // ---- /healthz ----
 
 type healthz struct {
+	// Status is "ok", or "degraded" when the store has failed flushes —
+	// the daemon keeps serving from memory but new verdicts may not be
+	// durable.
 	Status        string           `json:"status"`
+	Role          string           `json:"role"` // "writer" or "replica"
 	UptimeSeconds int64            `json:"uptime_seconds"`
 	Inflight      int64            `json:"requests_inflight"`
 	Served        int64            `json:"requests_served"`
+	Rejected      map[string]int64 `json:"requests_rejected,omitempty"`
 	SweepsLive    int              `json:"sweeps_inflight"`
 	SweepsStarted int64            `json:"sweeps_started"`
+	Rewarms       int64            `json:"rewarms,omitempty"`
 	Cache         sweep.CacheStats `json:"cache"`
 	Store         *store.Stats     `json:"store,omitempty"`
 	Limits        map[string]int   `json:"limits"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	role := "writer"
+	if s.cfg.ReadOnly {
+		role = "replica"
+	}
 	h := healthz{
 		Status:        "ok",
+		Role:          role,
 		UptimeSeconds: int64(time.Since(s.started).Seconds()),
 		Inflight:      s.inflight.Load(),
 		Served:        s.served.Load(),
@@ -638,12 +775,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"max_tree_n":      s.cfg.MaxTreeN,
 			"max_alphas":      s.cfg.MaxAlphas,
 			"max_check_n":     s.cfg.MaxCheckN,
+			"max_inflight":    s.cfg.MaxInflight,
+			"max_queue":       s.cfg.MaxQueue,
 			"request_timeout": int(s.cfg.RequestTimeout.Seconds()),
 		},
 	}
+	s.metrics.mu.Lock()
+	if len(s.metrics.rejected) > 0 {
+		h.Rejected = make(map[string]int64, len(s.metrics.rejected))
+		for reason, n := range s.metrics.rejected {
+			h.Rejected[reason] = n
+		}
+	}
+	h.Rewarms = s.metrics.rewarms
+	s.metrics.mu.Unlock()
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		h.Store = &st
+		if st.FlushFailures > 0 {
+			h.Status = "degraded"
+		}
 	}
 	writeJSON(w, h)
 }

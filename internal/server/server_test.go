@@ -419,7 +419,10 @@ func TestRequestTimeout(t *testing.T) {
 	}
 	lines := parseNDJSON(t, body)
 	sum := lines[len(lines)-1]
-	if sum.Type != "summary" || sum.Error == "" || sum.Completed >= sum.Total {
+	// Under instrumentation (-race) the deadline can fire before any item
+	// — or even the enumeration — completes, leaving Total 0; that is still
+	// a partial deadline summary.
+	if sum.Type != "summary" || sum.Error == "" || (sum.Total > 0 && sum.Completed >= sum.Total) {
 		t.Fatalf("expected a partial deadline summary, got %+v", sum)
 	}
 }

@@ -1,0 +1,192 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// Replica-refresh tests (PR 6): a read-only store following a live writer
+// through Refresh — incremental frame pickup, torn-tail tolerance, and
+// the full-reload path after the writer compacts underneath it.
+
+// TestStoreRefreshFollowsWriter: a replica opened mid-stream picks up
+// every record the writer flushes afterwards, verdicts and certificates,
+// and a quiescent Refresh is a cheap no-op.
+func TestStoreRefreshFollowsWriter(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 2, FlushEvery: 1 << 30})
+	defer w.Close()
+	recs := testRecords(12)
+	for _, r := range recs[:4] {
+		if err := w.Put(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{ReadOnly: true})
+	defer r.Close()
+	if got := dump(r); !reflect.DeepEqual(got, dump(w)) {
+		t.Fatalf("replica opened with %d records, writer holds %d", len(got), len(dump(w)))
+	}
+
+	// Writer appends more, including a certificate; the replica sees
+	// nothing until the writer flushes, everything after.
+	cert := CertRecord{Canon: recs[0].Canon, Concept: 11,
+		Intervals: []Interval{{LoNum: 1, LoDen: 1, HiInf: true}}}
+	for _, rec := range recs[4:] {
+		if err := w.Put(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.PutCert(cert); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.Refresh(); err != nil || n != 0 {
+		t.Fatalf("Refresh before writer flush: n=%d err=%v, want 0, nil", n, err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Refresh()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(recs) - 4 + 1; n != want {
+		t.Fatalf("Refresh loaded %d frames, want %d", n, want)
+	}
+	if got := dump(r); !reflect.DeepEqual(got, dump(w)) {
+		t.Fatal("replica diverged from writer after refresh")
+	}
+	if got, ok := r.GetCert(cert.Key()); !ok || !reflect.DeepEqual(got.Intervals, cert.Intervals) {
+		t.Fatalf("certificate not refreshed: %+v ok=%v", got, ok)
+	}
+	if n, err := r.Refresh(); err != nil || n != 0 {
+		t.Fatalf("quiescent Refresh: n=%d err=%v", n, err)
+	}
+	// Refresh is a replica-only operation.
+	if _, err := w.Refresh(); err == nil {
+		t.Fatal("Refresh on the writable store must fail")
+	}
+}
+
+// TestStoreRefreshTornTail: a half-written frame at a segment tail — the
+// replica racing the writer's in-flight append — stops the scan without
+// error or progress; once the frame completes the next Refresh folds it.
+func TestStoreRefreshTornTail(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1, FlushEvery: 1 << 30})
+	if err := w.Put(testRecords(1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{ReadOnly: true})
+	defer r.Close()
+
+	// Simulate the writer mid-append: lay down only half of the next frame.
+	next := testRecords(2)[1]
+	frame := encodeFrame(next)
+	seg := filepath.Join(dir, "seg-00.log")
+	f, err := os.OpenFile(seg, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(frame[:len(frame)/2]); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.Refresh(); err != nil || n != 0 {
+		t.Fatalf("Refresh at torn tail: n=%d err=%v, want 0, nil", n, err)
+	}
+	if _, ok := r.Get(next.Key()); ok {
+		t.Fatal("half-written record visible")
+	}
+	// The writer finishes the append.
+	if _, err := f.Write(frame[len(frame)/2:]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if n, err := r.Refresh(); err != nil || n != 1 {
+		t.Fatalf("Refresh after completion: n=%d err=%v, want 1, nil", n, err)
+	}
+	if stable, ok := r.Get(next.Key()); !ok || stable != next.Stable {
+		t.Fatal("completed record not folded")
+	}
+}
+
+// TestStoreRefreshAfterCompact: the writer compacting — certificate
+// subsumes a per-α verdict row, segments shrink — must not strand the
+// replica on stale offsets: Refresh detects the shrink and rebuilds from
+// scratch, then keeps following fresh appends.
+func TestStoreRefreshAfterCompact(t *testing.T) {
+	dir := t.TempDir()
+	w := mustOpen(t, dir, Options{Shards: 1, FlushEvery: 1 << 30})
+	defer w.Close()
+	canon := "compacted-class"
+	for alpha := int64(1); alpha <= 24; alpha++ {
+		if err := w.Put(Record{Canon: canon, Num: alpha, Den: 1, Concept: 3, Stable: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cert := CertRecord{Canon: canon, Concept: 3,
+		Intervals: []Interval{{LoNum: 0, LoDen: 1, HiInf: true}}}
+	if err := w.PutCert(cert); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := mustOpen(t, dir, Options{ReadOnly: true})
+	defer r.Close()
+	before := r.Stats()
+	if before.Records != 25 {
+		t.Fatalf("replica warm state: %d records, want 25", before.Records)
+	}
+
+	if err := w.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	shrunk := w.Stats()
+	if shrunk.DiskBytes >= before.DiskBytes {
+		t.Fatalf("compaction did not shrink: %d -> %d bytes", before.DiskBytes, shrunk.DiskBytes)
+	}
+	if _, err := r.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	after := r.Stats()
+	if after.VerdictRecords != 0 || after.CertificateRecords != 1 {
+		t.Fatalf("replica after compaction reload: %+v, want the lone certificate", after)
+	}
+	if got, ok := r.GetCert(cert.Key()); !ok || !reflect.DeepEqual(got.Intervals, cert.Intervals) {
+		t.Fatal("certificate lost across reload")
+	}
+	// Certificates still answer every folded α.
+	if got, _ := r.GetCert(cert.Key()); !got.Contains(24, 1) {
+		t.Fatal("reloaded certificate no longer answers α=24")
+	}
+
+	// And the replica keeps following appends after the rebuild.
+	extra := Record{Canon: "post-compact", Num: 1, Den: 1, Concept: 5, Stable: false}
+	if err := w.Put(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := r.Refresh(); err != nil || n != 1 {
+		t.Fatalf("post-compact Refresh: n=%d err=%v", n, err)
+	}
+	if stable, ok := r.Get(extra.Key()); !ok || stable != extra.Stable {
+		t.Fatal("post-compact append not followed")
+	}
+}

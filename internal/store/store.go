@@ -38,6 +38,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -46,6 +47,18 @@ import (
 	"syscall"
 	"time"
 )
+
+// WriteSyncer is the write handle of one segment file — the subset of
+// *os.File the append path needs. It is an interface so the
+// fault-injection test harness (Options.WrapSegmentWriter) can interpose
+// failing writes and syncs on an otherwise real store; production stores
+// always write through bare *os.File values.
+type WriteSyncer interface {
+	io.Writer
+	Sync() error
+	Truncate(size int64) error
+	Close() error
+}
 
 const (
 	segMagic = "bncgsv1\n"
@@ -70,9 +83,16 @@ type Options struct {
 	// FlushEvery threshold, Flush and Close.
 	FlushInterval time.Duration
 	// ReadOnly opens the store without the single-writer lock and without
-	// repairing torn tails, so observability commands can inspect a store
-	// a live writer holds. Put, Flush, Compact and checkpoint writes fail.
+	// repairing torn tails, so observability commands and read replicas can
+	// inspect a store a live writer holds. Put, Flush, Compact and
+	// checkpoint writes fail; Refresh picks up frames the writer appended
+	// since Open.
 	ReadOnly bool
+	// WrapSegmentWriter, when non-nil, wraps every segment write handle at
+	// open (and reopen after Compact). It exists for fault-injection tests
+	// — a wrapper returning write or sync errors drives the flush-failure
+	// paths deterministically. Leave nil in production.
+	WrapSegmentWriter func(WriteSyncer) WriteSyncer
 }
 
 // Stats is an observability snapshot of a store.
@@ -109,7 +129,7 @@ type Stats struct {
 
 type segment struct {
 	path    string
-	f       *os.File
+	f       WriteSyncer
 	size    int64  // durable bytes (including magic)
 	pending []byte // encoded frames awaiting flush
 	dirty   bool   // written since last fsync
@@ -276,29 +296,9 @@ func (s *Store) openSegment(path string) (*segment, error) {
 			if !ok {
 				break
 			}
-			if fr.isCert {
-				if prev, seen := s.certs[fr.cert.Key()]; seen {
-					if !equalIntervals(prev, fr.cert.Intervals) {
-						return nil, fmt.Errorf("store: %s: conflicting persisted certificates for %v", path, fr.cert.Key())
-					}
-					s.stats.DuplicateFrames++
-				}
-				s.certs[fr.cert.Key()] = fr.cert.Intervals
-				valid += n
-				continue
+			if err := s.foldFrame(fr, path); err != nil {
+				return nil, err
 			}
-			rec := fr.rec
-			if prev, seen := s.recs[rec.Key()]; seen {
-				if prev != rec.Stable {
-					// Two durable frames disagree on a pure function of
-					// the key. Put refuses to write this state, so it is
-					// corruption (or a buggy writer); refuse to serve
-					// wrong verdicts from it.
-					return nil, fmt.Errorf("store: %s: conflicting persisted verdicts for %v", path, rec.Key())
-				}
-				s.stats.DuplicateFrames++
-			}
-			s.recs[rec.Key()] = rec.Stable
 			valid += n
 		}
 	} else if len(data) > 0 && len(data) < len(segMagic) && segMagic[:len(data)] == string(data) {
@@ -327,11 +327,51 @@ func (s *Store) openSegment(path string) (*segment, error) {
 		}
 		valid = len(segMagic)
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.openWriter(path)
 	if err != nil {
 		return nil, err
 	}
 	return &segment{path: path, f: f, size: int64(valid)}, nil
+}
+
+// openWriter opens the append handle of one segment, applying the
+// fault-injection wrapper when configured.
+func (s *Store) openWriter(path string) (WriteSyncer, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if s.opts.WrapSegmentWriter != nil {
+		return s.opts.WrapSegmentWriter(f), nil
+	}
+	return f, nil
+}
+
+// foldFrame merges one decoded frame into the in-memory maps, enforcing
+// the purity invariant: a repeated frame with equal content is counted as
+// a duplicate, but two durable frames disagreeing on a pure function of
+// their key is corruption (or a buggy writer) — refuse to serve wrong
+// verdicts from it. Callers hold s.mu or have exclusive access at Open.
+func (s *Store) foldFrame(fr frame, path string) error {
+	if fr.isCert {
+		if prev, seen := s.certs[fr.cert.Key()]; seen {
+			if !equalIntervals(prev, fr.cert.Intervals) {
+				return fmt.Errorf("store: %s: conflicting persisted certificates for %v", path, fr.cert.Key())
+			}
+			s.stats.DuplicateFrames++
+		}
+		s.certs[fr.cert.Key()] = fr.cert.Intervals
+		return nil
+	}
+	rec := fr.rec
+	if prev, seen := s.recs[rec.Key()]; seen {
+		if prev != rec.Stable {
+			return fmt.Errorf("store: %s: conflicting persisted verdicts for %v", path, rec.Key())
+		}
+		s.stats.DuplicateFrames++
+	}
+	s.recs[rec.Key()] = rec.Stable
+	return nil
 }
 
 // frame is one decoded segment frame: either a verdict Record or a
@@ -606,6 +646,102 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// Refresh re-scans the segment files of a read-only store, folding in the
+// frames a live writer appended (and flushed) since Open or the previous
+// Refresh, and returns the number of frames decoded. A torn tail — a
+// frame the writer has not fully flushed yet — stops a segment's scan
+// without advancing past it, so the next Refresh retries from the same
+// boundary. If any segment shrank — the signature of a writer-side
+// Compact — every segment is re-read from scratch and the in-memory maps
+// rebuilt, which is sound because compaction only drops duplicate and
+// subsumed frames. Refresh is how a read replica converges on the
+// writer's state without ever taking the writer lock; it fails on a
+// writable store, whose segments only ever move through its own appends.
+func (s *Store) Refresh() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.opts.ReadOnly {
+		return 0, fmt.Errorf("store: Refresh on a writable store")
+	}
+	if s.closed {
+		return 0, fmt.Errorf("store: Refresh on a closed store")
+	}
+	for _, seg := range s.segs {
+		if fi, err := os.Stat(seg.path); err == nil && fi.Size() < seg.size {
+			return s.reloadLocked()
+		}
+	}
+	added := 0
+	for _, seg := range s.segs {
+		n, err := s.refreshSegment(seg)
+		added += n
+		if err != nil {
+			return added, err
+		}
+	}
+	return added, nil
+}
+
+// refreshSegment decodes the frames appended to one segment past its last
+// known frame boundary, advancing seg.size to the new boundary.
+func (s *Store) refreshSegment(seg *segment) (int, error) {
+	data, err := os.ReadFile(seg.path)
+	if os.IsNotExist(err) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, err
+	}
+	valid := int(seg.size)
+	if valid < len(segMagic) {
+		// The segment had not been fully created when this store opened;
+		// start from its magic once the writer has laid it down.
+		if len(data) < len(segMagic) || string(data[:len(segMagic)]) != segMagic {
+			return 0, nil
+		}
+		valid = len(segMagic)
+	}
+	added := 0
+	for valid < len(data) {
+		n, fr, ok := decodeFrame(data[valid:])
+		if !ok {
+			break
+		}
+		if err := s.foldFrame(fr, seg.path); err != nil {
+			return added, err
+		}
+		added++
+		valid += n
+	}
+	seg.size = int64(valid)
+	return added, nil
+}
+
+// reloadLocked rebuilds the in-memory maps from scratch — the recovery
+// path after the writer compacted segments underneath a replica. On error
+// the pre-reload maps keep serving.
+func (s *Store) reloadLocked() (int, error) {
+	recs, certs := s.recs, s.certs
+	sizes := make([]int64, len(s.segs))
+	s.recs = make(map[Key]bool, len(recs))
+	s.certs = make(map[CertKey][]Interval, len(certs))
+	s.stats.DuplicateFrames = 0
+	added := 0
+	for i, seg := range s.segs {
+		sizes[i], seg.size = seg.size, 0
+		n, err := s.refreshSegment(seg)
+		added += n
+		if err != nil {
+			s.recs, s.certs = recs, certs
+			for j, sg := range s.segs[:i+1] {
+				sg.size = sizes[j]
+			}
+			return 0, err
+		}
+	}
+	return added, nil
+}
+
 // Compact rewrites every segment from the in-memory record set in
 // deterministic key order, dropping duplicate and superseded frames and
 // reclaiming the space of truncated tails. Per-α verdict records subsumed
@@ -665,7 +801,7 @@ func (s *Store) Compact() error {
 		if err := os.Rename(tmp, seg.path); err != nil {
 			return err
 		}
-		f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		f, err := s.openWriter(seg.path)
 		if err != nil {
 			return err
 		}

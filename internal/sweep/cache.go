@@ -145,6 +145,14 @@ func (c *Cache) GetCert(canon string, concept eq.Concept) (eq.AlphaSet, bool) {
 	return set, ok
 }
 
+// CountHit credits one cache hit without performing a lookup. The
+// serving daemon uses it when /v1/check answers from a certificate:
+// GetCert itself stays uncounted so the sweep engine can keep its
+// per-grid-price accounting (lookupCert), but a certificate-served
+// request is a cache hit in serving terms and must move the daemon's
+// exposed hit ratio.
+func (c *Cache) CountHit() { c.hits.Add(1) }
+
 // PutCert memoizes a certificate (and forwards it to the persistence
 // sink, when one is attached). Certificates are pure functions of their
 // key, so a repeat Put is a no-op.
