@@ -6,6 +6,7 @@ import (
 	"repro/internal/dynamics"
 	"repro/internal/eq"
 	"repro/internal/experiments"
+	"repro/internal/fleet"
 	"repro/internal/game"
 	"repro/internal/graph"
 	"repro/internal/move"
@@ -285,6 +286,74 @@ var (
 	// AlphaSetOf validates and builds an AlphaSet from sorted disjoint
 	// intervals (the persistence path).
 	AlphaSetOf = eq.AlphaSetOf
+)
+
+// Distributed sweep fleet (v7): lease-based coordinator/worker sharding of
+// the pruned class stream with store-shard merge.
+type (
+	// FleetTable is the durable lease table of one fleet run: the sweep
+	// grid plus per-range owner, heartbeat deadline, fencing epoch and
+	// completion state. It generalizes SweepCheckpoint from one process's
+	// progress to a fleet's.
+	FleetTable = fleet.Table
+	// FleetRange is one contiguous [start, end) slice of the class stream
+	// and its lease state.
+	FleetRange = fleet.Range
+	// FleetLease is a worker's claim on one range — the fencing handle
+	// every heartbeat and completion must present.
+	FleetLease = fleet.Lease
+	// FleetProgress summarizes a table (pending/leased/done/reclaims).
+	FleetProgress = fleet.Progress
+	// FleetWorkerOptions configures RunFleetWorker.
+	FleetWorkerOptions = fleet.WorkerOptions
+	// FleetWorkerStats summarizes one worker's run.
+	FleetWorkerStats = fleet.WorkerStats
+	// StoreIngestStats summarizes one shard merge (VerdictStore.Ingest).
+	StoreIngestStats = store.IngestStats
+	// StoreInterval is one exact α interval of a persisted certificate.
+	StoreInterval = store.Interval
+	// StoreKey and StoreCertKey identify persisted verdicts and
+	// certificates.
+	StoreKey     = store.Key
+	StoreCertKey = store.CertKey
+	// StoreSegmentStat is one segment's bytes and frame count
+	// (VerdictStore.SegmentStats) — the shard-skew view of `store stats`.
+	StoreSegmentStat = store.SegmentStat
+)
+
+// SweepCheckpointVersion is the current checkpoint/lease-table schema
+// generation; unversioned (pre-fleet) checkpoints still load.
+const SweepCheckpointVersion = sweep.CheckpointVersion
+
+// Fleet directory conventions: the lease table's file name and the
+// subdirectory workers default their store shards under.
+const (
+	FleetTableFile = fleet.TableFile
+	FleetShardsDir = fleet.ShardsDir
+)
+
+// ErrFleetLeaseLost reports a fenced-off lease: the range was reclaimed
+// after heartbeat expiry, and the previous owner must abandon it.
+var ErrFleetLeaseLost = fleet.ErrLeaseLost
+
+var (
+	// PlanFleet counts the pruned class stream of a grid and cuts it into
+	// contiguous lease ranges.
+	PlanFleet = fleet.Plan
+	// CreateFleet persists a freshly planned lease table; LoadFleet reads
+	// one back; ReclaimFleet returns expired leases to pending.
+	CreateFleet  = fleet.Create
+	LoadFleet    = fleet.Load
+	ReclaimFleet = fleet.Reclaim
+	// ClaimFleetRange grants the first claimable range to an owner — the
+	// primitive RunFleetWorker loops on.
+	ClaimFleetRange = fleet.Claim
+	// RunFleetWorker claims and certifies ranges against a private store
+	// shard until the fleet's table is fully done.
+	RunFleetWorker = fleet.RunWorker
+	// CountSweepClasses counts the isomorphism classes of a sweep source's
+	// pruned stream — the fleet coordinator's planning pass.
+	CountSweepClasses = sweep.CountClasses
 )
 
 // Iterator enumeration (v2). Both iterators support early break, which

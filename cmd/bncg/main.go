@@ -20,13 +20,30 @@
 //	     [-max-n <n>] [-max-tree-n <n>] [-request-timeout <d>]
 //	     [-rate <r/s>] [-burst <b>] [-max-inflight <c>] [-max-queue <q>]
 //	     [-queue-wait <d>] [-readonly] [-rewarm-interval <d>]
-//	bncg store stats|compact -dir <dir>
+//	bncg store stats|compact|dump -dir <dir>
+//	bncg store merge -out <dir> <shard>...
+//	bncg [-timeout <d>] fleet -dir <dir> [-n <nodes>] [-concepts <list>]
+//	     [-trees] [-range-size <k>] [-watch <d>] [-plan-only] [-merge-out <dir>]
+//	bncg [-timeout <d>] worker -dir <dir> [-id <name>] [-store <dir>]
+//	     [-ttl <d>] [-poll <d>] [-workers <w>] [-progress]
 //
 // The global -timeout flag bounds the whole invocation; SIGINT (Ctrl-C)
 // cancels gracefully. In both cases the long-running subcommands (sweep,
 // poa, experiment) drain their workers, print the partial report computed
 // so far, and exit non-zero; serve shuts down gracefully and exits zero.
 // A second SIGINT kills the process.
+//
+// fleet and worker together form the distributed sweep: `fleet -dir d`
+// plans the pruned class stream into lease ranges and persists the table
+// in d; any number of `worker -dir d` processes (sharing d's filesystem)
+// claim ranges, certify them, and append certificates each to its own
+// store shard under d/shards/<id>. The coordinator reclaims leases whose
+// worker died (missed heartbeats past the TTL), so killed workers cost
+// only time. `store merge` folds the shards into one canonical store —
+// identical duplicate records (from reclaimed, re-run ranges) fold
+// silently; contradictory records fail the merge loudly. `store dump`
+// prints a store's records in a deterministic order, so byte-comparing
+// dumps checks that a merged fleet store equals a single-process sweep.
 //
 // With -store, sweep warm-starts the verdict cache from the persistent
 // store, appends every newly computed verdict to it, and checkpoints its
@@ -94,7 +111,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		defer cancel()
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, critical, serve, store)")
+		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, critical, serve, store, fleet, worker)")
 	}
 	switch args[0] {
 	case "list":
@@ -117,6 +134,10 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return runServe(ctx, args[1:], stdout)
 	case "store":
 		return runStore(args[1:], stdout)
+	case "fleet":
+		return runFleet(ctx, args[1:], stdout)
+	case "worker":
+		return runWorker(ctx, args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -289,6 +310,37 @@ func parseConcept(s string) (bncg.Concept, error) {
 	return bncg.ParseConcept(s)
 }
 
+// parseAlphaGrid parses a comma-separated α grid ("1/2,1,2").
+func parseAlphaGrid(s string) ([]bncg.Alpha, error) {
+	var alphas []bncg.Alpha
+	for _, part := range strings.Split(s, ",") {
+		a, err := parseAlpha(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		alphas = append(alphas, a)
+	}
+	return alphas, nil
+}
+
+// parseConceptList parses a comma-separated concept list; "all" selects
+// every concept.
+func parseConceptList(s string) ([]bncg.Concept, error) {
+	concepts := bncg.Concepts()
+	if s == "all" {
+		return concepts, nil
+	}
+	concepts = concepts[:0]
+	for _, part := range strings.Split(s, ",") {
+		c, err := parseConcept(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		concepts = append(concepts, c)
+	}
+	return concepts, nil
+}
+
 func readGraph(file string, stdin io.Reader) (*bncg.Graph, error) {
 	var data []byte
 	var err error
@@ -398,24 +450,13 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	var alphas []bncg.Alpha
-	for _, s := range strings.Split(*alphasStr, ",") {
-		a, err := parseAlpha(strings.TrimSpace(s))
-		if err != nil {
-			return err
-		}
-		alphas = append(alphas, a)
+	alphas, err := parseAlphaGrid(*alphasStr)
+	if err != nil {
+		return err
 	}
-	concepts := bncg.Concepts()
-	if *conceptsStr != "all" {
-		concepts = concepts[:0]
-		for _, s := range strings.Split(*conceptsStr, ",") {
-			c, err := parseConcept(strings.TrimSpace(s))
-			if err != nil {
-				return err
-			}
-			concepts = append(concepts, c)
-		}
+	concepts, err := parseConceptList(*conceptsStr)
+	if err != nil {
+		return err
 	}
 	source := bncg.SweepGraphs
 	if *trees {
@@ -563,16 +604,9 @@ func runCritical(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	concepts := bncg.Concepts()
-	if *conceptsStr != "all" {
-		concepts = concepts[:0]
-		for _, s := range strings.Split(*conceptsStr, ",") {
-			c, err := parseConcept(strings.TrimSpace(s))
-			if err != nil {
-				return err
-			}
-			concepts = append(concepts, c)
-		}
+	concepts, err := parseConceptList(*conceptsStr)
+	if err != nil {
+		return err
 	}
 	source := bncg.SweepGraphs
 	if *trees {
@@ -712,9 +746,12 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 
 func runStore(args []string, stdout io.Writer) error {
 	if len(args) == 0 {
-		return fmt.Errorf("store: want a verb: stats|compact")
+		return fmt.Errorf("store: want a verb: stats|compact|merge|dump")
 	}
 	verb, args := args[0], args[1:]
+	if verb == "merge" {
+		return runStoreMerge(args, stdout)
+	}
 	fs := flag.NewFlagSet("store "+verb, flag.ContinueOnError)
 	dir := fs.String("dir", "", "verdict store directory")
 	if err := fs.Parse(args); err != nil {
@@ -723,19 +760,28 @@ func runStore(args []string, stdout io.Writer) error {
 	if *dir == "" {
 		return fmt.Errorf("store %s: missing -dir", verb)
 	}
-	// stats is a pure read: open without the writer lock so it works
-	// against a store a live daemon or sweep holds. compact rewrites
+	// stats and dump are pure reads: open without the writer lock so they
+	// work against a store a live daemon or sweep holds. compact rewrites
 	// segments and genuinely needs exclusivity.
-	st, err := bncg.OpenStore(*dir, bncg.StoreOptions{ReadOnly: verb == "stats"})
+	st, err := bncg.OpenStore(*dir, bncg.StoreOptions{ReadOnly: verb != "compact"})
 	if err != nil {
 		return err
 	}
 	defer st.Close()
 	switch verb {
 	case "stats":
+		// The per-segment breakdown makes shard skew across a fleet
+		// visible at a glance: uneven canonical-key hashing shows up as
+		// one segment's bytes dwarfing its siblings'.
+		out := struct {
+			bncg.StoreStats
+			SegmentDetail []bncg.StoreSegmentStat `json:"segment_detail"`
+		}{st.Stats(), st.SegmentStats()}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(st.Stats())
+		return enc.Encode(out)
+	case "dump":
+		return dumpStore(st, stdout)
 	case "compact":
 		before := st.Stats()
 		if err := st.Compact(); err != nil {
@@ -746,8 +792,346 @@ func runStore(args []string, stdout io.Writer) error {
 			*dir, after.Records, before.DiskBytes, after.DiskBytes)
 		return nil
 	default:
-		return fmt.Errorf("store: unknown verb %q (want stats|compact)", verb)
+		return fmt.Errorf("store: unknown verb %q (want stats|compact|merge|dump)", verb)
 	}
+}
+
+// runStoreMerge folds store shards into one canonical store: `bncg store
+// merge -out <dir> <shard>...`. Identical duplicate records fold silently;
+// a contradictory (class, concept) record fails the merge loudly with a
+// non-zero exit — determinism makes contradictions impossible for honest
+// shards, so one can only mean corruption.
+func runStoreMerge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("store merge", flag.ContinueOnError)
+	out := fs.String("out", "", "destination store directory (created if absent)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shards := fs.Args()
+	if *out == "" {
+		return fmt.Errorf("store merge: missing -out")
+	}
+	if len(shards) == 0 {
+		return fmt.Errorf("store merge: no shard directories given")
+	}
+	dst, err := bncg.OpenStore(*out, bncg.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer dst.Close()
+	var total bncg.StoreIngestStats
+	for _, shard := range shards {
+		src, err := bncg.OpenStore(shard, bncg.StoreOptions{ReadOnly: true})
+		if err != nil {
+			return fmt.Errorf("store merge: %w", err)
+		}
+		stats, ierr := dst.Ingest(src)
+		cerr := src.Close()
+		if ierr != nil {
+			return fmt.Errorf("store merge %s: %w", shard, ierr)
+		}
+		if cerr != nil {
+			return cerr
+		}
+		fmt.Fprintf(stdout, "merged %s: +%d certificates, +%d verdicts, %d duplicates folded\n",
+			shard, stats.Certificates, stats.Verdicts, stats.Duplicates)
+		total.Certificates += stats.Certificates
+		total.Verdicts += stats.Verdicts
+		total.Duplicates += stats.Duplicates
+	}
+	if err := dst.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "merge complete: %d shards -> %s (%d certificates, %d verdicts, %d duplicates folded)\n",
+		len(shards), *out, total.Certificates, total.Verdicts, total.Duplicates)
+	return nil
+}
+
+// dumpStore prints every record in a deterministic text form — certs
+// first, then verdicts, each sorted by key — so two stores holding the
+// same certificate set produce byte-identical dumps: the comparison the
+// fleet's merged-equals-single-process guarantee is checked with.
+func dumpStore(st *bncg.VerdictStore, stdout io.Writer) error {
+	var certs []bncg.StoreCertRecord
+	st.RangeCerts(func(r bncg.StoreCertRecord) bool {
+		certs = append(certs, r)
+		return true
+	})
+	slices.SortFunc(certs, func(a, b bncg.StoreCertRecord) int {
+		if c := strings.Compare(a.Canon, b.Canon); c != 0 {
+			return c
+		}
+		return int(a.Concept) - int(b.Concept)
+	})
+	for _, r := range certs {
+		fmt.Fprintf(stdout, "cert %x %s %s\n", r.Canon, bncg.Concept(r.Concept), intervalsString(r.Intervals))
+	}
+	var recs []bncg.StoreRecord
+	st.Range(func(r bncg.StoreRecord) bool {
+		recs = append(recs, r)
+		return true
+	})
+	slices.SortFunc(recs, func(a, b bncg.StoreRecord) int {
+		if c := strings.Compare(a.Canon, b.Canon); c != 0 {
+			return c
+		}
+		if a.Num != b.Num {
+			return int(a.Num - b.Num)
+		}
+		if a.Den != b.Den {
+			return int(a.Den - b.Den)
+		}
+		return int(a.Concept) - int(b.Concept)
+	})
+	for _, r := range recs {
+		verdict := "unstable"
+		if r.Stable {
+			verdict = "stable"
+		}
+		fmt.Fprintf(stdout, "verdict %x %s %d/%d %s\n", r.Canon, bncg.Concept(r.Concept), r.Num, r.Den, verdict)
+	}
+	return nil
+}
+
+// intervalsString renders a persisted certificate's α set, e.g.
+// "[1,2) [3,inf)"; an empty set renders as "(empty)".
+func intervalsString(ivs []bncg.StoreInterval) string {
+	if len(ivs) == 0 {
+		return "(empty)"
+	}
+	var b strings.Builder
+	for i, iv := range ivs {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		if iv.LoOpen {
+			b.WriteByte('(')
+		} else {
+			b.WriteByte('[')
+		}
+		fmt.Fprintf(&b, "%d/%d,", iv.LoNum, iv.LoDen)
+		if iv.HiInf {
+			b.WriteString("inf)")
+			continue
+		}
+		fmt.Fprintf(&b, "%d/%d", iv.HiNum, iv.HiDen)
+		if iv.HiOpen {
+			b.WriteByte(')')
+		} else {
+			b.WriteByte(']')
+		}
+	}
+	return b.String()
+}
+
+// runFleet is the coordinator of a distributed sweep: plan the pruned
+// class stream into lease ranges, persist the table, then watch the fleet
+// — reclaiming expired leases so a dead worker's ranges return to the pool
+// — until every range is done. Workers are separate `bncg worker`
+// processes sharing the fleet directory; the coordinator never certifies
+// anything itself. With -merge-out it finishes by folding every shard
+// under <dir>/shards into one canonical store and checking completeness.
+func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	dir := fs.String("dir", "", "fleet directory: lease table + default shard location")
+	n := fs.Int("n", 7, "node count (7 is the fleet-scale frontier)")
+	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
+	trees := fs.Bool("trees", false, "sweep free trees instead of connected graphs")
+	rangeSize := fs.Int("range-size", 32, "classes per lease range")
+	watch := fs.Duration("watch", 2*time.Second, "monitor poll interval")
+	planOnly := fs.Bool("plan-only", false, "plan and persist the lease table, then exit without monitoring")
+	mergeOut := fs.String("merge-out", "", "after completion, merge every shard under <dir>/shards into this store")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("fleet: missing -dir")
+	}
+	concepts, err := parseConceptList(*conceptsStr)
+	if err != nil {
+		return err
+	}
+	source := bncg.SweepGraphs
+	if *trees {
+		source = bncg.SweepTrees
+	}
+	// Fleet sweeps are certificate workloads: each (class, concept) gets
+	// one parametric certificate answering every α, so the grid spec pins
+	// a single nominal α and any α-grid report is derived after the merge.
+	one, err := bncg.NewAlpha(1, 1)
+	if err != nil {
+		return err
+	}
+	opts := bncg.SweepOptions{
+		N:        *n,
+		Alphas:   []bncg.Alpha{one},
+		Concepts: concepts,
+		Source:   source,
+	}
+
+	table, err := bncg.LoadFleet(*dir)
+	switch {
+	case err == nil:
+		// Resuming an existing fleet: the table is the authority on the
+		// grid, but refuse a flag mismatch rather than silently monitoring
+		// a different sweep than the one asked for.
+		if !sameGrid(table.Grid, bncg.NewSweepCheckpoint(opts, 0, 0)) {
+			return fmt.Errorf("fleet: %s holds the lease table of a different grid (n=%d source=%s); use a fresh directory",
+				*dir, table.Grid.N, table.Grid.Source)
+		}
+		p := table.Progress()
+		fmt.Fprintf(stdout, "fleet: resuming %s: %d classes in %d ranges (%d done)\n",
+			*dir, table.Classes, len(table.Ranges), p.Done)
+	case os.IsNotExist(err):
+		table, err = bncg.PlanFleet(ctx, opts, *rangeSize)
+		if err != nil {
+			return err
+		}
+		if err := bncg.CreateFleet(*dir, table); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "fleet: planned n=%d source=%s: %d classes in %d ranges of <=%d\n",
+			*n, source, table.Classes, len(table.Ranges), *rangeSize)
+	default:
+		return err
+	}
+	if *planOnly {
+		return nil
+	}
+
+	ticker := time.NewTicker(*watch)
+	defer ticker.Stop()
+	lastDone := -1
+	for {
+		reclaimed, err := bncg.ReclaimFleet(*dir)
+		if err != nil {
+			return err
+		}
+		if reclaimed > 0 {
+			fmt.Fprintf(stdout, "fleet: reclaimed %d expired lease(s)\n", reclaimed)
+		}
+		t, err := bncg.LoadFleet(*dir)
+		if err != nil {
+			return err
+		}
+		p := t.Progress()
+		if p.Done != lastDone {
+			fmt.Fprintf(stdout, "fleet: %d/%d ranges done (%d leased, %d pending, %d reclaims)\n",
+				p.Done, len(t.Ranges), p.Leased, p.Pending, p.Reclaims)
+			lastDone = p.Done
+		}
+		if t.Done() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("fleet: interrupted with %d/%d ranges done: %w", p.Done, len(t.Ranges), ctx.Err())
+		case <-ticker.C:
+		}
+	}
+	fmt.Fprintf(stdout, "fleet: complete: %d classes certified across %d ranges\n", table.Classes, len(table.Ranges))
+
+	if *mergeOut == "" {
+		return nil
+	}
+	matches, err := filepath.Glob(filepath.Join(*dir, bncg.FleetShardsDir, "*"))
+	if err != nil {
+		return err
+	}
+	var shards []string
+	for _, m := range matches {
+		if info, err := os.Stat(m); err == nil && info.IsDir() {
+			shards = append(shards, m)
+		}
+	}
+	if len(shards) == 0 {
+		return fmt.Errorf("fleet: no shards under %s to merge", filepath.Join(*dir, bncg.FleetShardsDir))
+	}
+	if err := runStoreMerge(append([]string{"-out", *mergeOut}, shards...), stdout); err != nil {
+		return err
+	}
+	// Completeness check: a done table plus the durability-before-
+	// completion worker invariant means the merged store must hold exactly
+	// one certificate per (class, concept).
+	merged, err := bncg.OpenStore(*mergeOut, bncg.StoreOptions{ReadOnly: true})
+	if err != nil {
+		return err
+	}
+	defer merged.Close()
+	certs := 0
+	merged.RangeCerts(func(bncg.StoreCertRecord) bool {
+		certs++
+		return true
+	})
+	want := table.Classes * len(concepts)
+	if certs != want {
+		return fmt.Errorf("fleet: merged store %s holds %d certificates, want %d (%d classes x %d concepts)",
+			*mergeOut, certs, want, table.Classes, len(concepts))
+	}
+	fmt.Fprintf(stdout, "fleet: merged store complete: %d certificates (%d classes x %d concepts)\n",
+		certs, table.Classes, len(concepts))
+	return nil
+}
+
+// runWorker is one member of a fleet: claim lease ranges from the table in
+// -dir, certify them with the shared engine, append certificates to its
+// own shard, and exit when the whole fleet's table is done. Run any number
+// of these against one fleet directory, from any number of machines
+// sharing the filesystem.
+func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	dir := fs.String("dir", "", "fleet directory holding the lease table")
+	id := fs.String("id", "", "worker id recorded as lease owner (default: host-pid)")
+	storeDir := fs.String("store", "", "this worker's shard store (default: <dir>/shards/<id>)")
+	ttl := fs.Duration("ttl", 30*time.Second, "lease duration; heartbeats extend it")
+	poll := fs.Duration("poll", 500*time.Millisecond, "back-off between claim attempts when every range is taken")
+	workers := fs.Int("workers", 0, "per-range sweep pool size (0 = all CPUs)")
+	progress := fs.Bool("progress", false, "log per-range lease activity on stderr")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("worker: missing -dir")
+	}
+	if *id == "" {
+		host, err := os.Hostname()
+		if err != nil {
+			host = "worker"
+		}
+		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+	if *storeDir == "" {
+		*storeDir = filepath.Join(*dir, bncg.FleetShardsDir, *id)
+	}
+	st, err := bncg.OpenStore(*storeDir, bncg.StoreOptions{})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	wopts := bncg.FleetWorkerOptions{
+		Dir:          *dir,
+		Owner:        *id,
+		Store:        st,
+		TTL:          *ttl,
+		Poll:         *poll,
+		SweepWorkers: *workers,
+	}
+	if *progress {
+		wopts.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	stats, err := bncg.RunFleetWorker(ctx, wopts)
+	if err != nil {
+		if interrupted(err) {
+			return fmt.Errorf("worker %s: interrupted after %d range(s); leases will expire for others: %w",
+				*id, stats.Ranges, err)
+		}
+		return err
+	}
+	fmt.Fprintf(stdout, "worker %s: fleet done: %d range(s), %d classes, %d certificates fresh, %d cache hits, %d leases lost\n",
+		*id, stats.Ranges, stats.Classes, stats.Certified, stats.Hits, stats.LeasesLost)
+	return nil
 }
 
 func runPoA(ctx context.Context, args []string, stdout io.Writer) error {

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -837,5 +838,116 @@ func TestServeReadonlyRequiresStore(t *testing.T) {
 	_, err := runCLI(t, "", "serve", "-readonly", "-addr", "127.0.0.1:0")
 	if err == nil || !strings.Contains(err.Error(), "-store") {
 		t.Fatalf("err = %v, want the -readonly/-store usage error", err)
+	}
+}
+
+// TestFleetCommandsEndToEnd drives the whole distributed-sweep surface
+// through the CLI: plan a fleet, race two workers over it, have the
+// coordinator observe completion and merge the shards, and check the
+// merged store dumps byte-identically to a single-process sweep of the
+// same grid. `store stats` must expose the per-segment breakdown.
+func TestFleetCommandsEndToEnd(t *testing.T) {
+	fleetDir := filepath.Join(t.TempDir(), "fleet")
+	out, err := runCLI(t, "", "fleet", "-dir", fleetDir, "-n", "4", "-range-size", "2", "-plan-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "planned") {
+		t.Fatalf("plan-only output:\n%s", out)
+	}
+
+	var wg sync.WaitGroup
+	outs := make([]string, 2)
+	errs := make([]error, 2)
+	for i := range outs {
+		id := fmt.Sprintf("w%d", i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			outs[i], errs[i] = runCLI(t, "", "worker", "-dir", fleetDir, "-id", id, "-ttl", "5s", "-poll", "50ms")
+		}()
+	}
+	wg.Wait()
+	for i := range outs {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v\n%s", i, errs[i], outs[i])
+		}
+		if !strings.Contains(outs[i], "fleet done") {
+			t.Fatalf("worker %d output:\n%s", i, outs[i])
+		}
+	}
+
+	merged := filepath.Join(t.TempDir(), "merged")
+	out, err = runCLI(t, "", "fleet", "-dir", fleetDir, "-n", "4", "-range-size", "2", "-merge-out", merged)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out)
+	}
+	if !strings.Contains(out, "merged store complete") {
+		t.Fatalf("coordinator merge output:\n%s", out)
+	}
+
+	// The reference: one process, same grid (the fleet pins α=1).
+	bncg.ResetSharedSweepCache()
+	refDir := t.TempDir()
+	if _, err := runCLI(t, "", "sweep", "-n", "4", "-alphas", "1", "-store", refDir); err != nil {
+		t.Fatal(err)
+	}
+	bncg.ResetSharedSweepCache()
+	dumpMerged, err := runCLI(t, "", "store", "dump", "-dir", merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dumpRef, err := runCLI(t, "", "store", "dump", "-dir", refDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dumpMerged == "" || dumpMerged != dumpRef {
+		t.Fatalf("merged fleet store is not record-identical to the single-process sweep:\n--- merged\n%s--- single\n%s", dumpMerged, dumpRef)
+	}
+
+	statsOut, err := runCLI(t, "", "store", "stats", "-dir", merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats struct {
+		SegmentDetail []struct {
+			Name    string `json:"name"`
+			Bytes   int64  `json:"bytes"`
+			Records int    `json:"records"`
+		} `json:"segment_detail"`
+	}
+	if err := json.Unmarshal([]byte(statsOut), &stats); err != nil {
+		t.Fatalf("store stats JSON: %v\n%s", err, statsOut)
+	}
+	if len(stats.SegmentDetail) == 0 {
+		t.Fatalf("store stats without segment detail:\n%s", statsOut)
+	}
+	for _, seg := range stats.SegmentDetail {
+		if seg.Name == "" || seg.Bytes <= 0 {
+			t.Fatalf("implausible segment stat %+v", seg)
+		}
+	}
+}
+
+// TestStoreMergeConflictFailsCLI: `store merge` must exit non-zero when
+// two shards contradict each other, and say so.
+func TestStoreMergeConflictFailsCLI(t *testing.T) {
+	shardA, shardB := t.TempDir(), t.TempDir()
+	for i, stable := range []bool{true, false} {
+		dir := []string{shardA, shardB}[i]
+		st, err := bncg.OpenStore(dir, bncg.StoreOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Put(bncg.StoreRecord{Canon: "c", Num: 1, Den: 1, Concept: 1, Stable: stable}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out, err := runCLI(t, "", "store", "merge", "-out", t.TempDir(), shardA, shardB)
+	if err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("contradictory shards merged: err=%v\n%s", err, out)
 	}
 }

@@ -195,9 +195,44 @@
 //     /healthz surfaces as "degraded" — the daemon serves stale from
 //     memory and recovers losslessly once the fault heals.
 //
+// # v7: the distributed sweep fleet
+//
+// One process per grid stops scaling at n=7 (853 connected classes, nine
+// exponential-checker concepts), so v7 shards the sweep across processes:
+//
+//   - The pruned class stream is deterministic, so a contiguous position
+//     range [start, end) is a well-defined unit of work:
+//     SweepOptions.ClassStart/ClassEnd restrict a sweep to one range and
+//     CountSweepClasses prices a grid without materializing it.
+//   - internal/fleet is lease-based coordination over a shared directory:
+//     PlanFleet cuts the stream into ranges and persists a lease table
+//     (fleet.json, flock-guarded atomic read-modify-write — the same
+//     discipline as the store's checkpoint). Each range carries owner,
+//     epoch and heartbeat deadline; ClaimFleetRange grants the first
+//     pending or expired range (stealing bumps the epoch, so a stalled
+//     owner's later heartbeat or completion fails with ErrFleetLeaseLost
+//     instead of corrupting a successor's work), and ReclaimFleet returns
+//     expired leases to the pool.
+//   - `bncg worker` (RunFleetWorker) loops claim → certify → flush own
+//     store shard → complete, heartbeating at TTL/3 in the background.
+//     The flush lands before the completion mark, so a done range is a
+//     durable range; a worker killed mid-lease costs only the TTL wait.
+//   - `bncg fleet` is the coordinator: plan once, then monitor and
+//     reclaim until done; `bncg store merge` folds the shards into one
+//     canonical store via VerdictStore.Ingest — certificates are pure
+//     functions of (class, concept), so overlap from reclaimed ranges
+//     folds as duplicates while any contradiction fails the merge loudly.
+//     `bncg store dump` renders a store in deterministic order, making
+//     "merged fleet ≡ single process" a byte-diff; CI runs that drill,
+//     plus a kill -9 variant, on every push.
+//   - The checkpoint schema is now versioned (SweepCheckpointVersion):
+//     the lease table embeds the grid spec as a Checkpoint, legacy
+//     unversioned checkpoints still resume, and future generations are
+//     rejected instead of misread.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the recorded reproduction results, the file format of the verdict
 // store, the NDJSON/JSON schemas of the serving endpoints, the
-// before/after numbers of the v4 kernel, and the exact critical-α tables
-// of the v5 certificate engine.
+// before/after numbers of the v4 kernel, the exact critical-α tables
+// of the v5 certificate engine, and the n=7 fleet sweep recipe.
 package bncg

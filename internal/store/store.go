@@ -131,6 +131,7 @@ type segment struct {
 	path    string
 	f       WriteSyncer
 	size    int64  // durable bytes (including magic)
+	records int    // frames folded from disk plus frames appended this session
 	pending []byte // encoded frames awaiting flush
 	dirty   bool   // written since last fsync
 }
@@ -288,7 +289,7 @@ func (s *Store) openSegment(path string) (*segment, error) {
 	} else if err != nil {
 		return nil, err
 	}
-	valid := 0
+	valid, frames := 0, 0
 	if len(data) >= len(segMagic) && string(data[:len(segMagic)]) == segMagic {
 		valid = len(segMagic)
 		for valid < len(data) {
@@ -300,6 +301,7 @@ func (s *Store) openSegment(path string) (*segment, error) {
 				return nil, err
 			}
 			valid += n
+			frames++
 		}
 	} else if len(data) > 0 && len(data) < len(segMagic) && segMagic[:len(data)] == string(data) {
 		// Torn write of the magic itself: rewrite it whole.
@@ -312,14 +314,14 @@ func (s *Store) openSegment(path string) (*segment, error) {
 		if s.opts.ReadOnly {
 			// Report the damage, repair nothing: a live writer may own
 			// this tail.
-			return &segment{path: path, size: int64(valid)}, nil
+			return &segment{path: path, size: int64(valid), records: frames}, nil
 		}
 		if err := os.Truncate(path, int64(valid)); err != nil {
 			return nil, err
 		}
 	}
 	if s.opts.ReadOnly {
-		return &segment{path: path, size: int64(valid)}, nil
+		return &segment{path: path, size: int64(valid), records: frames}, nil
 	}
 	if valid == 0 {
 		if err := writeFileSync(path, []byte(segMagic)); err != nil {
@@ -331,7 +333,7 @@ func (s *Store) openSegment(path string) (*segment, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &segment{path: path, f: f, size: int64(valid)}, nil
+	return &segment{path: path, f: f, size: int64(valid), records: frames}, nil
 }
 
 // openWriter opens the append handle of one segment, applying the
@@ -463,6 +465,7 @@ func (s *Store) Put(rec Record) error {
 	s.stats.Appended++
 	seg := s.shardOf(rec.Canon)
 	seg.pending = append(seg.pending, encodeFrame(rec)...)
+	seg.records++
 	s.pending++
 	flushNow := s.pending >= s.opts.FlushEvery
 	if !flushNow {
@@ -558,6 +561,7 @@ func (s *Store) PutCert(rec CertRecord) error {
 	s.stats.Appended++
 	seg := s.shardOf(rec.Canon)
 	seg.pending = append(seg.pending, encodeCertFrame(rec)...)
+	seg.records++
 	s.pending++
 	flushNow := s.pending >= s.opts.FlushEvery
 	if !flushNow {
@@ -646,6 +650,36 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
+// SegmentStat is one segment's share of a store — the skew-visibility
+// breakdown behind `bncg store stats`: a fleet whose shards hash unevenly
+// shows up as one segment's bytes dwarfing its siblings'.
+type SegmentStat struct {
+	// Name is the segment's file name within the store directory.
+	Name string `json:"name"`
+	// Bytes is the segment's durable size, including the magic header.
+	Bytes int64 `json:"bytes"`
+	// Records counts the segment's frames: those replayed from disk at
+	// Open plus those appended (pending included) this session. Duplicate
+	// frames count individually until Compact folds them.
+	Records int `json:"records"`
+}
+
+// SegmentStats returns the per-segment byte and frame-count breakdown, in
+// segment order.
+func (s *Store) SegmentStats() []SegmentStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SegmentStat, len(s.segs))
+	for i, seg := range s.segs {
+		out[i] = SegmentStat{
+			Name:    filepath.Base(seg.path),
+			Bytes:   seg.size + int64(len(seg.pending)),
+			Records: seg.records,
+		}
+	}
+	return out
+}
+
 // Refresh re-scans the segment files of a read-only store, folding in the
 // frames a live writer appended (and flushed) since Open or the previous
 // Refresh, and returns the number of frames decoded. A torn tail — a
@@ -714,6 +748,7 @@ func (s *Store) refreshSegment(seg *segment) (int, error) {
 		valid += n
 	}
 	seg.size = int64(valid)
+	seg.records += added
 	return added, nil
 }
 
@@ -723,18 +758,20 @@ func (s *Store) refreshSegment(seg *segment) (int, error) {
 func (s *Store) reloadLocked() (int, error) {
 	recs, certs := s.recs, s.certs
 	sizes := make([]int64, len(s.segs))
+	counts := make([]int, len(s.segs))
 	s.recs = make(map[Key]bool, len(recs))
 	s.certs = make(map[CertKey][]Interval, len(certs))
 	s.stats.DuplicateFrames = 0
 	added := 0
 	for i, seg := range s.segs {
 		sizes[i], seg.size = seg.size, 0
+		counts[i], seg.records = seg.records, 0
 		n, err := s.refreshSegment(seg)
 		added += n
 		if err != nil {
 			s.recs, s.certs = recs, certs
 			for j, sg := range s.segs[:i+1] {
-				sg.size = sizes[j]
+				sg.size, sg.records = sizes[j], counts[j]
 			}
 			return 0, err
 		}
@@ -782,13 +819,18 @@ func (s *Store) Compact() error {
 	for i := range bufs {
 		bufs[i] = []byte(segMagic)
 	}
+	counts := make([]int, len(s.segs))
 	for _, k := range certKeys {
 		rec := CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: s.certs[k]}
-		bufs[s.shardIndex(k.Canon)] = append(bufs[s.shardIndex(k.Canon)], encodeCertFrame(rec)...)
+		idx := s.shardIndex(k.Canon)
+		bufs[idx] = append(bufs[idx], encodeCertFrame(rec)...)
+		counts[idx]++
 	}
 	for _, k := range keys {
 		rec := Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Stable: s.recs[k]}
-		bufs[s.shardIndex(k.Canon)] = append(bufs[s.shardIndex(k.Canon)], encodeFrame(rec)...)
+		idx := s.shardIndex(k.Canon)
+		bufs[idx] = append(bufs[idx], encodeFrame(rec)...)
+		counts[idx]++
 	}
 	for i, seg := range s.segs {
 		tmp := seg.path + ".tmp"
@@ -806,6 +848,7 @@ func (s *Store) Compact() error {
 			return err
 		}
 		seg.f, seg.size, seg.dirty = f, int64(len(bufs[i])), false
+		seg.records = counts[i]
 	}
 	s.stats.DuplicateFrames = 0
 	return syncDir(s.dir)

@@ -114,11 +114,27 @@ func (c *Cache) Persist(st *store.Store) {
 	}
 }
 
+// CheckpointVersion is the current schema generation of the checkpoint
+// JSON. Generation history:
+//
+//	0 — (absent field) the unversioned checkpoints of PR 3–6; accepted on
+//	    load and upgraded to the current generation on the next save.
+//	2 — the first versioned generation. The version field exists because
+//	    the fleet lease table embeds a Checkpoint as its grid spec and
+//	    shares the checkpoint.json slot's atomic-write discipline: the two
+//	    documents (and any future schema change to either) must be
+//	    distinguishable on disk, not by guessing at field shapes.
+//
+// Loading rejects generations newer than this binary understands, so an
+// old worker cannot silently misread a future coordinator's table.
+const CheckpointVersion = 2
+
 // Checkpoint is the durable description of a sweep grid plus its progress,
 // saved alongside the verdict segments (store.SaveCheckpoint) so `bncg
 // sweep -resume` can rebuild the exact Options of an interrupted run. The
 // α and concept grids are stored as their exact string forms.
 type Checkpoint struct {
+	Version   int      `json:"version,omitempty"`
 	N         int      `json:"n"`
 	Source    string   `json:"source"`
 	Alphas    []string `json:"alphas"`
@@ -132,6 +148,7 @@ type Checkpoint struct {
 // done.
 func NewCheckpoint(opts Options, total, completed int) Checkpoint {
 	cp := Checkpoint{
+		Version:   CheckpointVersion,
 		N:         opts.N,
 		Source:    opts.Source.String(),
 		Rho:       opts.Rho,
@@ -149,8 +166,14 @@ func NewCheckpoint(opts Options, total, completed int) Checkpoint {
 
 // Options rebuilds the sweep options the checkpoint describes. Worker
 // count, cache and hooks are execution details, not grid spec, and are
-// left zero for the caller to fill in.
+// left zero for the caller to fill in. Unversioned checkpoints (the
+// pre-fleet generation, Version 0) load unchanged — the field set is a
+// strict superset of theirs — while generations newer than this binary's
+// CheckpointVersion are rejected rather than misread.
 func (cp Checkpoint) Options() (Options, error) {
+	if cp.Version > CheckpointVersion {
+		return Options{}, fmt.Errorf("sweep: checkpoint schema version %d is newer than this binary's %d", cp.Version, CheckpointVersion)
+	}
 	opts := Options{N: cp.N, Rho: cp.Rho}
 	switch cp.Source {
 	case Graphs.String():

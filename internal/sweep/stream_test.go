@@ -203,3 +203,70 @@ func TestResultJSONStable(t *testing.T) {
 		}
 	}
 }
+
+// TestClassRangeShardsCoverTheStream: slicing the pruned class stream
+// into [start, end) shards — the fleet's unit of work distribution — and
+// sweeping each shard independently certifies exactly the classes a full
+// sweep does, no class missed, none duplicated across shards.
+func TestClassRangeShardsCoverTheStream(t *testing.T) {
+	classes, err := CountClasses(context.Background(), 5, Graphs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes == 0 {
+		t.Fatal("empty class stream")
+	}
+
+	full := NewCache()
+	whole := mustRun(t, latticeOptions(5, 2, full))
+	if whole.Graphs != classes {
+		t.Fatalf("CountClasses says %d, full sweep saw %d", classes, whole.Graphs)
+	}
+
+	sharded := NewCache()
+	const size = 8
+	for start := 0; start < classes; start += size {
+		opts := latticeOptions(5, 2, sharded)
+		opts.ClassStart = start
+		opts.ClassEnd = min(start+size, classes)
+		res := mustRun(t, opts)
+		if res.Graphs != opts.ClassEnd-start {
+			t.Fatalf("shard [%d,%d) swept %d classes", start, opts.ClassEnd, res.Graphs)
+		}
+	}
+
+	fullCerts := map[CertKey]eq.AlphaSet{}
+	full.RangeCerts(func(k CertKey, set eq.AlphaSet) bool {
+		fullCerts[k] = set
+		return true
+	})
+	n := 0
+	sharded.RangeCerts(func(k CertKey, set eq.AlphaSet) bool {
+		want, ok := fullCerts[k]
+		if !ok {
+			t.Errorf("shards certified %v, full sweep did not", k)
+		} else if !set.Equal(want) {
+			t.Errorf("certificate for %v differs: %s vs %s", k, set, want)
+		}
+		n++
+		return true
+	})
+	if n != len(fullCerts) || n == 0 {
+		t.Fatalf("shards produced %d certificates, full sweep %d", n, len(fullCerts))
+	}
+
+	// ClassEnd <= 0 means the end of the stream; bad ranges are refused.
+	tail := latticeOptions(5, 1, NewCache())
+	tail.ClassStart = classes - 2
+	res := mustRun(t, tail)
+	if res.Graphs != 2 {
+		t.Fatalf("open-ended tail range swept %d classes, want 2", res.Graphs)
+	}
+	for _, bad := range []struct{ start, end int }{{-1, 0}, {4, 4}, {4, 2}} {
+		opts := latticeOptions(5, 1, nil)
+		opts.ClassStart, opts.ClassEnd = bad.start, bad.end
+		if _, err := Run(context.Background(), opts); err == nil {
+			t.Errorf("range [%d,%d) accepted", bad.start, bad.end)
+		}
+	}
+}

@@ -96,6 +96,15 @@ type Options struct {
 	Workers int
 	// Source selects connected graphs (the default) or free trees.
 	Source Source
+	// ClassStart and ClassEnd restrict the sweep to the half-open range
+	// [ClassStart, ClassEnd) of positions in the pruned class stream — the
+	// work-sharding primitive of the fleet subsystem: the stream order is
+	// deterministic (minimal-mask order for graphs, generation order for
+	// trees), so disjoint position ranges partition the classes exactly and
+	// every worker sees the same class at the same position. ClassEnd <= 0
+	// means the end of the stream. Item.GraphIndex is local to the range
+	// (the first enumerated class of the range has index 0).
+	ClassStart, ClassEnd int
 	// Cache, when non-nil, memoizes parametric stability certificates
 	// across sweeps under (canonical form, concept) — one certificate
 	// answers every α grid. Nil disables memoization.
@@ -214,6 +223,12 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if len(opts.Concepts) > 16 {
 		return nil, fmt.Errorf("sweep: %d concepts exceed the 16-bit vector", len(opts.Concepts))
 	}
+	if opts.ClassStart < 0 {
+		return nil, fmt.Errorf("sweep: negative class range start %d", opts.ClassStart)
+	}
+	if opts.ClassEnd > 0 && opts.ClassEnd <= opts.ClassStart {
+		return nil, fmt.Errorf("sweep: empty class range [%d, %d)", opts.ClassStart, opts.ClassEnd)
+	}
 	games := make([]game.Game, len(opts.Alphas))
 	for i, alpha := range opts.Alphas {
 		gm, err := game.NewGame(opts.N, alpha)
@@ -239,25 +254,25 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	// symmetry pruning, which skips non-minimal labelings without
 	// canonicalizing them. The iterator is polled against ctx so a
 	// cancelled sweep stops enumerating too.
-	var stream iter.Seq2[*graph.Graph, graph.Class]
-	switch opts.Source {
-	case Graphs:
-		stream = graph.AllClasses(opts.N, graph.EnumOptions{
-			ConnectedOnly: true,
-			UpToIso:       true,
-			MaxEdges:      -1,
-		})
-	case Trees:
-		stream = graph.AllFreeTreeClasses(opts.N)
-	default:
-		return nil, fmt.Errorf("sweep: unknown source %v", opts.Source)
+	stream, err := classStream(opts.N, opts.Source)
+	if err != nil {
+		return nil, err
 	}
 	var graphs []*graph.Graph
 	var keys []string
+	pos := 0
 	for g, cl := range stream {
 		if ctx.Err() != nil {
 			break
 		}
+		if pos < opts.ClassStart {
+			pos++
+			continue
+		}
+		if opts.ClassEnd > 0 && pos >= opts.ClassEnd {
+			break
+		}
+		pos++
 		graphs = append(graphs, g)
 		keys = append(keys, cl.Key)
 		res.Orbits = append(res.Orbits, cl.Orbit)
@@ -383,6 +398,51 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	}
 	res.Critical = criticalOf(res)
 	return res, nil
+}
+
+// classStream returns the symmetry-pruned class stream of a source: the
+// deterministic enumeration every sweep — whole or range-restricted —
+// shards by position.
+func classStream(n int, source Source) (iter.Seq2[*graph.Graph, graph.Class], error) {
+	switch source {
+	case Graphs:
+		return graph.AllClasses(n, graph.EnumOptions{
+			ConnectedOnly: true,
+			UpToIso:       true,
+			MaxEdges:      -1,
+		}), nil
+	case Trees:
+		return graph.AllFreeTreeClasses(n), nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown source %v", source)
+	}
+}
+
+// CountClasses counts the isomorphism classes in a source's pruned stream
+// without evaluating anything — the fleet coordinator's planning pass,
+// which turns the stream into contiguous [start, end) work ranges. The
+// count only enumerates (no canonical keys are kept), so it is cheap
+// relative to certification. Cancelling ctx aborts the count with
+// ctx.Err().
+func CountClasses(ctx context.Context, n int, source Source) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if n < 1 {
+		return 0, fmt.Errorf("sweep: need at least one node, got %d", n)
+	}
+	stream, err := classStream(n, source)
+	if err != nil {
+		return 0, err
+	}
+	count := 0
+	for range stream {
+		if err := ctx.Err(); err != nil {
+			return count, err
+		}
+		count++
+	}
+	return count, nil
 }
 
 // criticalOf aggregates the per-class certificates into the per-concept
