@@ -11,6 +11,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/move"
 	"repro/internal/ncg"
+	"repro/internal/obs"
 	"repro/internal/server"
 	"repro/internal/store"
 	"repro/internal/sweep"
@@ -443,4 +444,51 @@ var (
 	Experiment = experiments.Run
 	// ExperimentIDs lists all experiment IDs.
 	ExperimentIDs = experiments.IDs
+)
+
+// Compute-plane observability (v8): NDJSON span tracing, the shared
+// hand-rolled Prometheus registry, sidecar metrics/pprof listeners, and
+// the trace analyzer behind `bncg trace`.
+type (
+	// Tracer is the append-only NDJSON span/event writer threaded through
+	// sweep, store and fleet via their Options.Trace fields. A nil
+	// *Tracer is a valid disabled tracer.
+	Tracer = obs.Tracer
+	// TracerOptions configures NewTracer (source id, injectable clock).
+	TracerOptions = obs.TracerOptions
+	// TraceAttrs carries span/event attributes.
+	TraceAttrs = obs.Attrs
+	// TraceData is the parsed, merged content of one or more trace files.
+	TraceData = obs.Trace
+	// TraceReport is the analyzer output: stage breakdown, slowest
+	// classes, per-worker timeline lanes and wall-clock coverage.
+	TraceReport = obs.Report
+	// MetricsRegistry is the ordered Prometheus text-exposition registry
+	// shared by the serving daemon and the compute sidecars.
+	MetricsRegistry = obs.Registry
+	// ComputeMetrics bundles the compute-plane instruments served on a
+	// worker/sweep sidecar listener. A nil *ComputeMetrics is valid.
+	ComputeMetrics = obs.ComputeMetrics
+	// MetricsSidecar is the optional -metrics-addr listener.
+	MetricsSidecar = obs.Sidecar
+)
+
+var (
+	// NewTracer wraps a writer; CreateTrace opens (appending) a trace
+	// file. Both stamp every frame with the source id.
+	NewTracer   = obs.NewTracer
+	CreateTrace = obs.CreateTrace
+	// ReadTraceFiles parses and merges NDJSON trace files strictly;
+	// AnalyzeTrace aggregates the merged trace into a TraceReport.
+	ReadTraceFiles = obs.ReadTraceFiles
+	AnalyzeTrace   = obs.Analyze
+	// NewComputeMetrics builds the sidecar instrument bundle.
+	NewComputeMetrics = obs.NewComputeMetrics
+	// StartMetricsSidecar serves a registry's /metrics (and optionally
+	// pprof) on addr until Close.
+	StartMetricsSidecar = obs.StartSidecar
+	// LintExposition validates Prometheus text-exposition output
+	// structurally (name charsets, TYPE consistency, histogram
+	// monotonicity) — exported for tests of metrics surfaces.
+	LintExposition = obs.LintExposition
 )

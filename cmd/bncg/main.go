@@ -13,19 +13,24 @@
 //	bncg [-timeout <d>] poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs] [-json]
 //	bncg [-timeout <d>] sweep [-n <nodes>] [-workers <w>] [-alphas <grid>]
 //	     [-concepts <list>] [-trees] [-rho] [-exact] [-json] [-progress]
-//	     [-store <dir>] [-resume]
+//	     [-store <dir>] [-resume] [-trace <file>] [-metrics-addr <host:port>]
+//	     [-pprof]
 //	bncg [-timeout <d>] critical [-n <nodes>] [-workers <w>]
 //	     [-concepts <list>] [-trees] [-json] [-store <dir>]
 //	bncg serve [-addr <host:port>] [-store <dir>] [-workers <w>]
 //	     [-max-n <n>] [-max-tree-n <n>] [-request-timeout <d>]
 //	     [-rate <r/s>] [-burst <b>] [-max-inflight <c>] [-max-queue <q>]
-//	     [-queue-wait <d>] [-readonly] [-rewarm-interval <d>]
+//	     [-queue-wait <d>] [-readonly] [-rewarm-interval <d>] [-pprof]
 //	bncg store stats|compact|dump -dir <dir>
 //	bncg store merge -out <dir> <shard>...
 //	bncg [-timeout <d>] fleet -dir <dir> [-n <nodes>] [-concepts <list>]
 //	     [-trees] [-range-size <k>] [-watch <d>] [-plan-only] [-merge-out <dir>]
+//	     [-trace <file>]
+//	bncg fleet status -dir <dir> [-json]
 //	bncg [-timeout <d>] worker -dir <dir> [-id <name>] [-store <dir>]
-//	     [-ttl <d>] [-poll <d>] [-workers <w>] [-progress]
+//	     [-ttl <d>] [-poll <d>] [-workers <w>] [-progress] [-trace <file>]
+//	     [-metrics-addr <host:port>] [-pprof]
+//	bncg trace [-json] [-top <k>] <file>...
 //
 // The global -timeout flag bounds the whole invocation; SIGINT (Ctrl-C)
 // cancels gracefully. In both cases the long-running subcommands (sweep,
@@ -52,6 +57,18 @@
 // daemon with the same store; serve -readonly boots a read replica that
 // opens the store without the writer lock, never persists, and re-warms
 // its cache from the writer's flushed segments every -rewarm-interval.
+//
+// Observability: -trace appends NDJSON spans (enumeration, per-class
+// certify breakdowns, store flushes, lease lifecycle) to a file the
+// `bncg trace` analyzer reads back — point it at one sweep trace or at
+// every shard trace of a fleet run and it reports stage breakdowns, the
+// slowest classes, and a per-worker timeline with steals marked.
+// -metrics-addr starts a sidecar HTTP listener on sweep and worker
+// serving the same Prometheus text exposition as serve's /metrics
+// (classes, certify latency, cache and store counters, lease gauges);
+// -pprof mounts net/http/pprof on that sidecar, and on serve's own mux.
+// `fleet status` prints a read-only snapshot of the lease table without
+// taking the writer lock, so it is safe against a live fleet.
 //
 // Graphs are read in the plain text edge-list format ("n <count>" then one
 // "u v" pair per line); with no -file, standard input is read.
@@ -111,7 +128,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		defer cancel()
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, critical, serve, store, fleet, worker)")
+		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, critical, serve, store, fleet, worker, trace)")
 	}
 	switch args[0] {
 	case "list":
@@ -138,6 +155,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return runFleet(ctx, args[1:], stdout)
 	case "worker":
 		return runWorker(ctx, args[1:], stdout)
+	case "trace":
+		return runTrace(args[1:], stdout)
 	default:
 		return fmt.Errorf("unknown subcommand %q", args[0])
 	}
@@ -447,6 +466,9 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	progress := fs.Bool("progress", false, "report task completion and cache stats on stderr")
 	storeDir := fs.String("store", "", "verdict store directory: warm-start the cache, persist new verdicts, checkpoint progress")
 	resume := fs.Bool("resume", false, "resume the checkpointed sweep in -store (grid flags come from the checkpoint)")
+	tracePath := fs.String("trace", "", "append NDJSON spans for this sweep to <file> (read back with `bncg trace`)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics for this sweep on a sidecar listener")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the -metrics-addr sidecar")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -470,20 +492,53 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 		Rho:      *rho,
 	}
 
+	var tracer *bncg.Tracer
+	if *tracePath != "" {
+		tracer, err = bncg.CreateTrace(*tracePath, "sweep")
+		if err != nil {
+			return err
+		}
+		defer func() { _ = tracer.Close() }()
+	}
 	cache := bncg.SharedSweepCache()
 	var st *bncg.VerdictStore
 	if *storeDir != "" {
 		var err error
-		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{})
+		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{Trace: tracer})
 		if err != nil {
 			return err
 		}
 		defer st.Close()
 		defer cache.Persist(nil)
-		if loaded := cache.WarmStart(st); loaded > 0 && *progress {
+		warmSpan := tracer.Start("warmstart")
+		loaded := cache.WarmStart(st)
+		warmSpan.End(bncg.TraceAttrs{"records": loaded})
+		if loaded > 0 && *progress {
 			fmt.Fprintf(os.Stderr, "store: warm-started %d verdicts from %s\n", loaded, *storeDir)
 		}
 		cache.Persist(st)
+	}
+	var metrics *bncg.ComputeMetrics
+	if *metricsAddr != "" {
+		metrics = bncg.NewComputeMetrics()
+		metrics.BindCacheStats(func() (int, int, int64, int64) {
+			s := cache.Stats()
+			return s.Verdicts, s.Certificates, s.Hits, s.Misses
+		})
+		if st != nil {
+			metrics.BindStoreStats(func() (int64, int64, int64, int) {
+				s := st.Stats()
+				return s.FlushedBytes, s.FlushFailures, s.DiskBytes, s.Pending
+			})
+		}
+		sidecar, err := bncg.StartMetricsSidecar(*metricsAddr, metrics.Registry, *pprofFlag)
+		if err != nil {
+			return err
+		}
+		defer sidecar.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", sidecar.Addr())
+	} else if *pprofFlag {
+		return fmt.Errorf("sweep: -pprof needs the -metrics-addr sidecar to serve it")
 	}
 	if *resume {
 		if st == nil {
@@ -520,6 +575,8 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	opts.Workers = *workers
 	opts.Cache = cache
+	opts.Trace = tracer
+	opts.Metrics = metrics
 
 	if *progress {
 		opts.Progress = func(done, total int) {
@@ -673,6 +730,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	maxInflight := fs.Int("max-inflight", 0, "global concurrent-request cap (0 = default 256)")
 	maxQueue := fs.Int("max-queue", 0, "bounded request queue ahead of the cap (0 = default: the cap)")
 	queueWait := fs.Duration("queue-wait", 0, "per-request queue deadline (0 = default 1s)")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the daemon mux")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -714,6 +772,7 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		QueueWait:      *queueWait,
 		ReadOnly:       *readonly,
 		RewarmInterval: *rewarmInterval,
+		EnablePprof:    *pprofFlag,
 	})
 	defer srv.Close()
 	ln, err := net.Listen("tcp", *addr)
@@ -932,6 +991,9 @@ func intervalsString(ivs []bncg.StoreInterval) string {
 // anything itself. With -merge-out it finishes by folding every shard
 // under <dir>/shards into one canonical store and checking completeness.
 func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
+	if len(args) > 0 && args[0] == "status" {
+		return runFleetStatus(args[1:], stdout)
+	}
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
 	dir := fs.String("dir", "", "fleet directory: lease table + default shard location")
 	n := fs.Int("n", 7, "node count (7 is the fleet-scale frontier)")
@@ -941,11 +1003,21 @@ func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
 	watch := fs.Duration("watch", 2*time.Second, "monitor poll interval")
 	planOnly := fs.Bool("plan-only", false, "plan and persist the lease table, then exit without monitoring")
 	mergeOut := fs.String("merge-out", "", "after completion, merge every shard under <dir>/shards into this store")
+	tracePath := fs.String("trace", "", "append NDJSON spans for the coordinator (plan, reclaims, merge) to <file>")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("fleet: missing -dir")
+	}
+	var tracer *bncg.Tracer
+	if *tracePath != "" {
+		var err error
+		tracer, err = bncg.CreateTrace(*tracePath, "fleet")
+		if err != nil {
+			return err
+		}
+		defer func() { _ = tracer.Close() }()
 	}
 	concepts, err := parseConceptList(*conceptsStr)
 	if err != nil {
@@ -983,10 +1055,13 @@ func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
 		fmt.Fprintf(stdout, "fleet: resuming %s: %d classes in %d ranges (%d done)\n",
 			*dir, table.Classes, len(table.Ranges), p.Done)
 	case os.IsNotExist(err):
+		planSpan := tracer.Start("plan")
 		table, err = bncg.PlanFleet(ctx, opts, *rangeSize)
 		if err != nil {
+			planSpan.End(bncg.TraceAttrs{"error": err.Error()})
 			return err
 		}
+		planSpan.End(bncg.TraceAttrs{"classes": table.Classes, "ranges": len(table.Ranges)})
 		if err := bncg.CreateFleet(*dir, table); err != nil {
 			return err
 		}
@@ -1008,6 +1083,7 @@ func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 		if reclaimed > 0 {
+			tracer.Event("reclaim", bncg.TraceAttrs{"leases": reclaimed})
 			fmt.Fprintf(stdout, "fleet: reclaimed %d expired lease(s)\n", reclaimed)
 		}
 		t, err := bncg.LoadFleet(*dir)
@@ -1047,9 +1123,12 @@ func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
 	if len(shards) == 0 {
 		return fmt.Errorf("fleet: no shards under %s to merge", filepath.Join(*dir, bncg.FleetShardsDir))
 	}
+	mergeSpan := tracer.Start("merge")
 	if err := runStoreMerge(append([]string{"-out", *mergeOut}, shards...), stdout); err != nil {
+		mergeSpan.End(bncg.TraceAttrs{"shards": len(shards), "error": err.Error()})
 		return err
 	}
+	mergeSpan.End(bncg.TraceAttrs{"shards": len(shards)})
 	// Completeness check: a done table plus the durability-before-
 	// completion worker invariant means the merged store must hold exactly
 	// one certificate per (class, concept).
@@ -1087,6 +1166,9 @@ func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 	poll := fs.Duration("poll", 500*time.Millisecond, "back-off between claim attempts when every range is taken")
 	workers := fs.Int("workers", 0, "per-range sweep pool size (0 = all CPUs)")
 	progress := fs.Bool("progress", false, "log per-range lease activity on stderr")
+	tracePath := fs.String("trace", "", "append NDJSON spans for this worker's shard to <file> (merge shard traces with `bncg trace`)")
+	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics for this worker on a sidecar listener")
+	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the -metrics-addr sidecar")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1103,11 +1185,38 @@ func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 	if *storeDir == "" {
 		*storeDir = filepath.Join(*dir, bncg.FleetShardsDir, *id)
 	}
-	st, err := bncg.OpenStore(*storeDir, bncg.StoreOptions{})
+	var tracer *bncg.Tracer
+	if *tracePath != "" {
+		var err error
+		tracer, err = bncg.CreateTrace(*tracePath, *id)
+		if err != nil {
+			return err
+		}
+		defer func() { _ = tracer.Close() }()
+	}
+	st, err := bncg.OpenStore(*storeDir, bncg.StoreOptions{Trace: tracer})
 	if err != nil {
 		return err
 	}
 	defer st.Close()
+	var metrics *bncg.ComputeMetrics
+	if *metricsAddr != "" {
+		metrics = bncg.NewComputeMetrics()
+		// The worker's cache is private to RunFleetWorker, which binds its
+		// stats onto this registry itself; only the shard is visible here.
+		metrics.BindStoreStats(func() (int64, int64, int64, int) {
+			s := st.Stats()
+			return s.FlushedBytes, s.FlushFailures, s.DiskBytes, s.Pending
+		})
+		sidecar, err := bncg.StartMetricsSidecar(*metricsAddr, metrics.Registry, *pprofFlag)
+		if err != nil {
+			return err
+		}
+		defer sidecar.Close()
+		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", sidecar.Addr())
+	} else if *pprofFlag {
+		return fmt.Errorf("worker: -pprof needs the -metrics-addr sidecar to serve it")
+	}
 	wopts := bncg.FleetWorkerOptions{
 		Dir:          *dir,
 		Owner:        *id,
@@ -1115,6 +1224,8 @@ func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 		TTL:          *ttl,
 		Poll:         *poll,
 		SweepWorkers: *workers,
+		Trace:        tracer,
+		Metrics:      metrics,
 	}
 	if *progress {
 		wopts.Logf = func(format string, args ...any) {
@@ -1131,6 +1242,94 @@ func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "worker %s: fleet done: %d range(s), %d classes, %d certificates fresh, %d cache hits, %d leases lost\n",
 		*id, stats.Ranges, stats.Classes, stats.Certified, stats.Hits, stats.LeasesLost)
+	return nil
+}
+
+// runFleetStatus prints a read-only snapshot of a fleet's lease table. It
+// reads the table file directly — no flock, no mutation — so it is safe
+// to point at a directory a live coordinator and workers are using.
+func runFleetStatus(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("fleet status", flag.ContinueOnError)
+	dir := fs.String("dir", "", "fleet directory holding the lease table")
+	asJSON := fs.Bool("json", false, "emit the snapshot as JSON")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return fmt.Errorf("fleet status: missing -dir")
+	}
+	t, err := bncg.LoadFleet(*dir)
+	if err != nil {
+		return err
+	}
+	p := t.Progress()
+	if *asJSON {
+		out := struct {
+			N        int               `json:"n"`
+			Source   string            `json:"source"`
+			Classes  int               `json:"classes"`
+			Pending  int               `json:"pending"`
+			Leased   int               `json:"leased"`
+			Done     int               `json:"done"`
+			Reclaims int               `json:"reclaims"`
+			Ranges   []bncg.FleetRange `json:"ranges"`
+		}{t.Grid.N, t.Grid.Source, t.Classes, p.Pending, p.Leased, p.Done, p.Reclaims, t.Ranges}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(stdout, "fleet %s: n=%d source=%s, %d classes in %d ranges\n",
+		*dir, t.Grid.N, t.Grid.Source, t.Classes, len(t.Ranges))
+	fmt.Fprintf(stdout, "progress: %d done, %d leased, %d pending, %d reclaims\n",
+		p.Done, p.Leased, p.Pending, p.Reclaims)
+	now := time.Now()
+	for _, r := range t.Ranges {
+		// Pending ranges that were never reclaimed carry no history worth a
+		// row; everything else shows who holds (or held) the lease.
+		if r.State == "pending" && r.Reclaims == 0 {
+			continue
+		}
+		line := fmt.Sprintf("  [%6d,%6d) %-7s", r.Start, r.End, r.State)
+		if r.Owner != "" {
+			line += " owner=" + r.Owner
+		}
+		if r.State == "leased" {
+			line += fmt.Sprintf(" epoch=%d deadline=%s", r.Epoch, r.Deadline.Sub(now).Round(time.Millisecond))
+		}
+		if r.Reclaims > 0 {
+			line += fmt.Sprintf(" reclaims=%d", r.Reclaims)
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	return nil
+}
+
+// runTrace is the analyzer: read one or more NDJSON trace files (a sweep's
+// -trace output, or every shard trace of a fleet run) and report where the
+// time went. Parse and schema errors surface as a non-zero exit — the
+// nightly workflow relies on this to pin the trace schema.
+func runTrace(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("trace", flag.ContinueOnError)
+	asJSON := fs.Bool("json", false, "emit the report as JSON")
+	topK := fs.Int("top", 10, "slowest classes to report")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("trace: want one or more trace files")
+	}
+	tr, err := bncg.ReadTraceFiles(fs.Args()...)
+	if err != nil {
+		return err
+	}
+	rep := bncg.AnalyzeTrace(tr, *topK)
+	rep.Files = fs.NArg()
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Fprint(stdout, rep.Text())
 	return nil
 }
 

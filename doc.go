@@ -230,9 +230,50 @@
 //     unversioned checkpoints still resume, and future generations are
 //     rejected instead of misread.
 //
+// # v8: compute-plane observability
+//
+// The fleet made "where does the time go?" a distributed question, so v8
+// adds internal/obs, a zero-dependency observability layer threaded
+// through the whole compute plane:
+//
+//   - Span tracing: Tracer appends NDJSON frames (one header, then spans
+//     and events) with a deterministic schema — hand-built field order,
+//     sorted attribute keys, microsecond timestamps — so a fixed-seed
+//     single-worker sweep replays byte-identically (pinned by test). The
+//     sweep engine records enumerate/class/certify/cache_write spans, the
+//     store records flush/checkpoint/compact, and the fleet worker records
+//     warmstart/claim/wait/range/complete plus heartbeats and steal
+//     events. `-trace <file>` on sweep, worker, and fleet turns it on;
+//     a nil Tracer costs one pointer check per class (the attr maps are
+//     only built when a frame will be written — gated in BENCH_sweep.json).
+//   - `bncg trace` reads one or more trace files (shards merge by source)
+//     under a strict parser — unknown fields, missing attrs, and bad
+//     frames are loud per-line errors, which is what the nightly schema
+//     gate relies on — and reports inclusive stage totals, the top-K
+//     slowest classes with per-concept certify durations, and a
+//     per-worker timeline whose lanes are union-of-intervals busy time
+//     with steals marked; `-json` emits the full TraceReport.
+//   - Worker metrics: the hand-rolled Prometheus registry moved out of
+//     internal/server into obs (counters, labeled vectors, gauges,
+//     histograms; text exposition 0.0.4), and ComputeMetrics instruments
+//     the sweep/fleet plane: classes certified and cached, certify
+//     latency histogram, cache hits/misses, store flush bytes/failures,
+//     and live lease epoch/deadline gauges. `bncg sweep` and
+//     `bncg worker` serve the same exposition on a `-metrics-addr`
+//     sidecar; `-pprof` mounts net/http/pprof there, and on the serve
+//     daemon (where profiler routes pass through admission like any
+//     other). LintExposition validates every HELP/TYPE/sample line —
+//     name charsets, type consistency, histogram bucket monotonicity and
+//     cumulativity — and both the server's /metrics and the compute
+//     exposition must pass it in tests.
+//   - `bncg fleet status` is a read-only, lock-free snapshot of the lease
+//     table (pending/leased/done per range, owners, deadlines, reclaim
+//     counts) safe to run against a live fleet directory, with `-json`.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the recorded reproduction results, the file format of the verdict
 // store, the NDJSON/JSON schemas of the serving endpoints, the
 // before/after numbers of the v4 kernel, the exact critical-α tables
-// of the v5 certificate engine, and the n=7 fleet sweep recipe.
+// of the v5 certificate engine, the n=7 fleet sweep recipe, and the
+// traced stage breakdowns of the v8 observability layer.
 package bncg

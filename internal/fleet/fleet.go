@@ -114,6 +114,10 @@ type Lease struct {
 	Owner      string
 	Epoch      int
 	Deadline   time.Time
+	// Stolen reports that this claim took over an expired lease from
+	// another owner (the range's Reclaims was bumped) — surfaced as a
+	// "steal" trace event and a sidecar counter by the worker.
+	Stolen bool
 }
 
 // Progress summarizes a table's state.
@@ -246,10 +250,12 @@ func Claim(dir, owner string, ttl time.Duration) (Lease, bool, error) {
 		now := time.Now()
 		for i := range t.Ranges {
 			r := &t.Ranges[i]
+			stolen := false
 			switch {
 			case r.State == StatePending:
 			case r.State == StateLeased && now.After(r.Deadline):
 				r.Reclaims++
+				stolen = true
 			default:
 				continue
 			}
@@ -257,7 +263,7 @@ func Claim(dir, owner string, ttl time.Duration) (Lease, bool, error) {
 			r.Owner = owner
 			r.Epoch++
 			r.Deadline = now.Add(ttl)
-			lease = Lease{Index: i, Start: r.Start, End: r.End, Owner: owner, Epoch: r.Epoch, Deadline: r.Deadline}
+			lease = Lease{Index: i, Start: r.Start, End: r.End, Owner: owner, Epoch: r.Epoch, Deadline: r.Deadline, Stolen: stolen}
 			ok = true
 			return true, nil
 		}

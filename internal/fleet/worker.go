@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -31,6 +32,15 @@ type WorkerOptions struct {
 	SweepWorkers int
 	// Logf, when non-nil, receives progress lines.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, records the worker lifecycle: "warmstart",
+	// "claim", "wait", "range", "heartbeat" and "complete" spans plus a
+	// "steal" event whenever a claim takes over an expired lease. The
+	// same tracer is threaded into the per-range sweeps, so one shard
+	// trace file holds the worker's whole timeline.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, records lease gauges and range counters for
+	// the sidecar exposition, and is threaded into the sweeps.
+	Metrics *obs.ComputeMetrics
 }
 
 // WorkerStats summarizes one worker's run.
@@ -82,7 +92,15 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 	// shard: certificates land in this shard only, and a restart resumes
 	// from whatever the shard already holds.
 	cache := sweep.NewCache()
-	cache.WarmStart(opts.Store)
+	// Bind cache sampling here rather than in the CLI: the cache lives and
+	// dies inside this call, so the scrape-time closure must too.
+	opts.Metrics.BindCacheStats(func() (int, int, int64, int64) {
+		s := cache.Stats()
+		return s.Verdicts, s.Certificates, s.Hits, s.Misses
+	})
+	warmSpan := opts.Trace.Start("warmstart")
+	loaded := cache.WarmStart(opts.Store)
+	warmSpan.End(obs.Attrs{"records": loaded})
 	cache.Persist(opts.Store)
 	defer cache.Persist(nil)
 
@@ -90,53 +108,79 @@ func RunWorker(ctx context.Context, opts WorkerOptions) (WorkerStats, error) {
 		if err := ctx.Err(); err != nil {
 			return stats, err
 		}
+		claimSpan := opts.Trace.Start("claim")
 		lease, ok, err := Claim(opts.Dir, opts.Owner, opts.TTL)
+		claimSpan.End(obs.Attrs{"ok": ok})
 		if err != nil {
 			return stats, err
 		}
 		if !ok {
+			waitSpan := opts.Trace.Start("wait")
 			t, err := Load(opts.Dir)
 			if err != nil {
+				waitSpan.End(nil)
 				return stats, err
 			}
 			if t.Done() {
+				waitSpan.End(obs.Attrs{"done": true})
 				return stats, opts.Store.Flush()
 			}
 			select {
 			case <-ctx.Done():
+				waitSpan.End(obs.Attrs{"done": false})
 				return stats, ctx.Err()
 			case <-time.After(opts.Poll):
 			}
+			waitSpan.End(obs.Attrs{"done": false})
 			continue
 		}
+		if lease.Stolen {
+			opts.Trace.Event("steal", obs.Attrs{"start": lease.Start, "end": lease.End, "epoch": lease.Epoch})
+		}
+		opts.Metrics.LeaseHeld(int64(lease.Epoch), lease.Deadline, lease.Stolen)
 		logf("worker %s: leased range [%d,%d) epoch %d", opts.Owner, lease.Start, lease.End, lease.Epoch)
+		rangeSpan := opts.Trace.Start("range")
 		res, lost, err := runRange(ctx, opts, grid, cache, lease)
 		if err != nil {
+			rangeSpan.End(obs.Attrs{"start": lease.Start, "end": lease.End, "epoch": lease.Epoch, "error": err.Error()})
+			opts.Metrics.LeaseDone(true)
 			if ctx.Err() != nil {
 				return stats, ctx.Err()
 			}
 			return stats, err
 		}
+		rangeSpan.End(obs.Attrs{
+			"start": lease.Start, "end": lease.End, "epoch": lease.Epoch,
+			"classes": res.Graphs, "certified": res.Certified, "lost": lost,
+		})
 		if lost {
 			stats.LeasesLost++
+			opts.Metrics.LeaseDone(true)
 			logf("worker %s: lost lease on range [%d,%d), abandoning", opts.Owner, lease.Start, lease.End)
 			continue
 		}
 		// Durability before completion: once the table says done, no one
 		// will ever certify these classes again.
 		if err := opts.Store.Flush(); err != nil {
+			opts.Metrics.LeaseDone(true)
 			return stats, fmt.Errorf("fleet: flushing shard before completing range [%d,%d): %w", lease.Start, lease.End, err)
 		}
-		if err := Complete(opts.Dir, lease); err != nil {
+		completeSpan := opts.Trace.Start("complete")
+		err = Complete(opts.Dir, lease)
+		completeSpan.End(obs.Attrs{"start": lease.Start, "end": lease.End})
+		if err != nil {
 			if errors.Is(err, ErrLeaseLost) {
 				// Reclaimed between our flush and the mark: the work is
 				// durable in our shard and the merge folds the overlap.
 				stats.LeasesLost++
+				opts.Metrics.LeaseDone(true)
 				logf("worker %s: range [%d,%d) reclaimed before completion", opts.Owner, lease.Start, lease.End)
 				continue
 			}
+			opts.Metrics.LeaseDone(true)
 			return stats, err
 		}
+		opts.Metrics.LeaseDone(false)
 		stats.Ranges++
 		stats.Classes += lease.End - lease.Start
 		stats.Certified += res.Certified
@@ -163,8 +207,10 @@ func runRange(ctx context.Context, opts WorkerOptions, grid sweep.Options, cache
 			case <-rctx.Done():
 				return
 			case <-tick.C:
+				hbSpan := opts.Trace.Start("heartbeat")
 				var herr error
 				if l, herr = Heartbeat(opts.Dir, l, opts.TTL); herr != nil {
+					hbSpan.End(obs.Attrs{"ok": false})
 					if errors.Is(herr, ErrLeaseLost) {
 						lostc <- struct{}{}
 						cancel()
@@ -172,6 +218,9 @@ func runRange(ctx context.Context, opts WorkerOptions, grid sweep.Options, cache
 					}
 					// A transient heartbeat error (I/O) is retried on the
 					// next tick; the lease survives until its deadline.
+				} else {
+					hbSpan.End(obs.Attrs{"ok": true})
+					opts.Metrics.LeaseRenewed(l.Deadline)
 				}
 			}
 		}
@@ -181,6 +230,8 @@ func runRange(ctx context.Context, opts WorkerOptions, grid sweep.Options, cache
 	ropts.ClassStart, ropts.ClassEnd = lease.Start, lease.End
 	ropts.Workers = opts.SweepWorkers
 	ropts.Cache = cache
+	ropts.Trace = opts.Trace
+	ropts.Metrics = opts.Metrics
 	res, err = sweep.Run(rctx, ropts)
 	cancel()
 	<-hb

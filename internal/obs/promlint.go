@@ -1,0 +1,360 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition walks a Prometheus text exposition line by line and
+// validates it structurally: metric and label name charsets, HELP/TYPE
+// declared once and before any sample, samples only under declared
+// families, parseable values, and — for histograms — per-series bucket
+// cumulativity, strictly increasing le bounds, a final +Inf bucket, and
+// _count agreement with the +Inf bucket. It guards the hand-rolled
+// writer as the registry moves between packages; both the obs tests and
+// the server's /metrics tests run scrapes through it.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	l := &expoLint{
+		types:   make(map[string]string),
+		helps:   make(map[string]bool),
+		sampled: make(map[string]bool),
+		hists:   make(map[string]*histSeries),
+	}
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if err := l.line(line); err != nil {
+			return fmt.Errorf("metrics line %d: %v (%q)", lineno, err, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return l.finish()
+}
+
+type histSeries struct {
+	family  string
+	series  string
+	les     []float64
+	counts  []int64
+	count   *int64
+	sawSum  bool
+	sawInf  bool
+	infLast int64
+}
+
+type expoLint struct {
+	types   map[string]string
+	helps   map[string]bool
+	sampled map[string]bool
+	hists   map[string]*histSeries
+}
+
+func (l *expoLint) line(line string) error {
+	if strings.HasPrefix(line, "#") {
+		return l.comment(line)
+	}
+	return l.sample(line)
+}
+
+func (l *expoLint) comment(line string) error {
+	fields := strings.SplitN(line, " ", 4)
+	if len(fields) < 3 {
+		return fmt.Errorf("malformed comment")
+	}
+	name := fields[2]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	switch fields[1] {
+	case "HELP":
+		if len(fields) < 4 || fields[3] == "" {
+			return fmt.Errorf("HELP without text")
+		}
+		if l.helps[name] {
+			return fmt.Errorf("duplicate HELP for %q", name)
+		}
+		if l.sampled[name] {
+			return fmt.Errorf("HELP for %q after its samples", name)
+		}
+		l.helps[name] = true
+	case "TYPE":
+		if len(fields) != 4 {
+			return fmt.Errorf("malformed TYPE")
+		}
+		typ := fields[3]
+		switch typ {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown TYPE %q", typ)
+		}
+		if prev, ok := l.types[name]; ok && prev != typ {
+			return fmt.Errorf("conflicting TYPE for %q: %q vs %q", name, prev, typ)
+		}
+		if _, ok := l.types[name]; ok {
+			return fmt.Errorf("duplicate TYPE for %q", name)
+		}
+		if l.sampled[name] {
+			return fmt.Errorf("TYPE for %q after its samples", name)
+		}
+		l.types[name] = typ
+	default:
+		// Free-form comment: legal, ignored.
+	}
+	return nil
+}
+
+// family resolves a sample name to its declared family, peeling
+// histogram suffixes.
+func (l *expoLint) family(name string) (fam, suffix string, err error) {
+	if typ, ok := l.types[name]; ok {
+		if typ == "histogram" {
+			return "", "", fmt.Errorf("histogram %q sampled without _bucket/_sum/_count suffix", name)
+		}
+		return name, "", nil
+	}
+	for _, s := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, s)
+		if base != name && l.types[base] == "histogram" {
+			return base, s, nil
+		}
+	}
+	return "", "", fmt.Errorf("sample %q without TYPE declaration", name)
+}
+
+func (l *expoLint) sample(line string) error {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i < 0 {
+		return fmt.Errorf("malformed sample")
+	}
+	name := rest[:i]
+	if !validMetricName(name) {
+		return fmt.Errorf("invalid metric name %q", name)
+	}
+	fam, suffix, err := l.family(name)
+	if err != nil {
+		return err
+	}
+	l.sampled[fam] = true
+
+	rest = rest[i:]
+	labels := map[string]string{}
+	var labelOrder []string
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return fmt.Errorf("unterminated label set")
+		}
+		body := rest[1:end]
+		rest = rest[end+1:]
+		for len(body) > 0 {
+			eq := strings.Index(body, "=")
+			if eq < 0 {
+				return fmt.Errorf("malformed label pair")
+			}
+			lname := body[:eq]
+			if !validLabelName(lname) {
+				return fmt.Errorf("invalid label name %q", lname)
+			}
+			if _, dup := labels[lname]; dup {
+				return fmt.Errorf("duplicate label %q", lname)
+			}
+			body = body[eq+1:]
+			if len(body) == 0 || body[0] != '"' {
+				return fmt.Errorf("unquoted label value")
+			}
+			val, n, err := scanLabelValue(body)
+			if err != nil {
+				return err
+			}
+			labels[lname] = val
+			labelOrder = append(labelOrder, lname)
+			body = body[n:]
+			if len(body) > 0 {
+				if body[0] != ',' {
+					return fmt.Errorf("expected ',' between labels")
+				}
+				body = body[1:]
+			}
+		}
+	}
+	val := strings.TrimSpace(rest)
+	// A trailing timestamp is legal in the format; the writer never
+	// emits one, but tolerate it.
+	if sp := strings.IndexByte(val, ' '); sp >= 0 {
+		if _, err := strconv.ParseInt(val[sp+1:], 10, 64); err != nil {
+			return fmt.Errorf("malformed timestamp")
+		}
+		val = val[:sp]
+	}
+	f, err := parseSampleValue(val)
+	if err != nil {
+		return fmt.Errorf("unparseable value %q", val)
+	}
+
+	if l.types[fam] == "histogram" {
+		return l.histogramSample(fam, suffix, labels, labelOrder, f)
+	}
+	if suffix != "" {
+		return fmt.Errorf("suffix %q on non-histogram %q", suffix, fam)
+	}
+	if l.types[fam] == "counter" && (f < 0 || math.IsNaN(f)) {
+		return fmt.Errorf("negative counter value")
+	}
+	return nil
+}
+
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return math.Inf(1), nil
+	case "-Inf":
+		return math.Inf(-1), nil
+	case "NaN":
+		return math.NaN(), nil
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// scanLabelValue parses a quoted label value at the start of s and
+// returns the unescaped value and the number of bytes consumed.
+func scanLabelValue(s string) (string, int, error) {
+	var b strings.Builder
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if i+1 >= len(s) {
+				return "", 0, fmt.Errorf("dangling escape")
+			}
+			i++
+			switch s[i] {
+			case '\\':
+				b.WriteByte('\\')
+			case '"':
+				b.WriteByte('"')
+			case 'n':
+				b.WriteByte('\n')
+			default:
+				return "", 0, fmt.Errorf("bad escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1, nil
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	return "", 0, fmt.Errorf("unterminated label value")
+}
+
+// seriesKey identifies one histogram series by its non-le labels.
+func seriesKey(labels map[string]string) string {
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		if k != "le" {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(labels[k])
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+func (l *expoLint) histogramSample(fam, suffix string, labels map[string]string, order []string, v float64) error {
+	key := fam + "\xff" + seriesKey(labels)
+	h := l.hists[key]
+	if h == nil {
+		h = &histSeries{family: fam, series: seriesKey(labels)}
+		l.hists[key] = h
+	}
+	switch suffix {
+	case "_bucket":
+		le, ok := labels["le"]
+		if !ok {
+			return fmt.Errorf("histogram bucket without le label")
+		}
+		if order[len(order)-1] != "le" {
+			return fmt.Errorf("le must be the last label")
+		}
+		if v < 0 || v != math.Trunc(v) {
+			return fmt.Errorf("non-integral bucket count")
+		}
+		if le == "+Inf" {
+			h.sawInf = true
+			h.infLast = int64(v)
+			h.les = append(h.les, math.Inf(1))
+		} else {
+			if h.sawInf {
+				return fmt.Errorf("bucket after +Inf in %q", fam)
+			}
+			f, err := strconv.ParseFloat(le, 64)
+			if err != nil {
+				return fmt.Errorf("unparseable le %q", le)
+			}
+			h.les = append(h.les, f)
+		}
+		h.counts = append(h.counts, int64(v))
+	case "_sum":
+		if h.sawSum {
+			return fmt.Errorf("duplicate _sum for series of %q", fam)
+		}
+		h.sawSum = true
+	case "_count":
+		if h.count != nil {
+			return fmt.Errorf("duplicate _count for series of %q", fam)
+		}
+		c := int64(v)
+		h.count = &c
+	default:
+		return fmt.Errorf("histogram %q sampled without suffix", fam)
+	}
+	return nil
+}
+
+func (l *expoLint) finish() error {
+	for _, h := range l.hists {
+		where := fmt.Sprintf("histogram %s{%s}", h.family, strings.TrimSuffix(h.series, ";"))
+		if len(h.les) == 0 {
+			return fmt.Errorf("%s: no buckets", where)
+		}
+		if !h.sawInf {
+			return fmt.Errorf("%s: missing +Inf bucket", where)
+		}
+		for i := 1; i < len(h.les); i++ {
+			if h.les[i] <= h.les[i-1] {
+				return fmt.Errorf("%s: le bounds not strictly increasing", where)
+			}
+			if h.counts[i] < h.counts[i-1] {
+				return fmt.Errorf("%s: bucket counts not cumulative", where)
+			}
+		}
+		if h.count == nil {
+			return fmt.Errorf("%s: missing _count", where)
+		}
+		if *h.count != h.infLast {
+			return fmt.Errorf("%s: _count %d != +Inf bucket %d", where, *h.count, h.infLast)
+		}
+		if !h.sawSum {
+			return fmt.Errorf("%s: missing _sum", where)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// A Sidecar is the optional observability listener of a compute process
+// (`bncg worker`/`bncg sweep -metrics-addr`): it serves the registry's
+// text exposition on /metrics and, when enabled, the net/http/pprof
+// handlers under /debug/pprof/.
+type Sidecar struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// MountPprof registers the net/http/pprof handlers on mux. Shared by
+// the sidecar and by `bncg serve -pprof`.
+func MountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// StartSidecar binds addr and serves reg's exposition in a background
+// goroutine until Close. enablePprof additionally mounts /debug/pprof/.
+func StartSidecar(addr string, reg *Registry, enablePprof bool) (*Sidecar, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	if enablePprof {
+		MountPprof(mux)
+	}
+	s := &Sidecar{ln: ln, srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Sidecar) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener and in-flight handlers.
+func (s *Sidecar) Close() error { return s.srv.Close() }

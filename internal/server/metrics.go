@@ -1,21 +1,22 @@
 package server
 
 import (
-	"fmt"
-	"io"
 	"net/http"
-	"sort"
 	"strconv"
-	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
-// Prometheus-style observability, hand-rolled: the daemon exposes the
-// standard text exposition format on GET /metrics without taking a client
-// dependency. Per-route request counters and latency histograms are
-// recorded by the ServeHTTP middleware; gauges (in-flight requests, cache
-// and store state, flight counts) are sampled live at scrape time, so the
-// scrape is always consistent with /healthz.
+// Prometheus-style observability without a client dependency: the daemon
+// exposes the standard text exposition format on GET /metrics. The
+// registry machinery lives in internal/obs (shared with the worker and
+// sweep sidecars); this file wires the serving plane's instruments onto
+// it. Per-route request counters and latency histograms are recorded by
+// the ServeHTTP middleware; gauges (in-flight requests, cache and store
+// state, flight counts) are sampled live at scrape time, so the scrape
+// is always consistent with /healthz.
 
 // metricRoutes are the route labels the middleware records under. Paths
 // outside the served API collapse into "other" so an URL-scanning client
@@ -42,70 +43,132 @@ var latencyBuckets = []float64{
 	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
 
-// routeMetrics accumulates one route's counters under its own lock; the
-// critical section is a handful of integer adds, so contention stays
-// negligible next to the handlers themselves.
-type routeMetrics struct {
-	mu       sync.Mutex
-	byCode   map[int]int64
-	buckets  []int64 // len(latencyBuckets)+1, last is +Inf
-	sumNanos int64
-	count    int64
-}
-
-// metricsRegistry holds everything the middleware records (as opposed to
-// the gauges sampled at scrape time).
+// metricsRegistry holds the middleware-recorded instruments plus the
+// obs.Registry carrying every family the daemon exposes.
 type metricsRegistry struct {
-	routes map[string]*routeMetrics
+	reg      *obs.Registry
+	requests *obs.CounterVec   // by route, code
+	duration *obs.HistogramVec // by route
+	rejected *obs.CounterVec   // admission rejections by reason
 
-	mu            sync.Mutex
-	rejected      map[string]int64 // admission rejections by reason
-	rewarms       int64            // replica re-warm passes completed
-	rewarmRecords int64            // records loaded by the last re-warm
+	rewarms       *obs.Counter // replica re-warm passes completed
+	rewarmRecords atomic.Int64 // records loaded by the last re-warm
 }
 
-func newMetricsRegistry() *metricsRegistry {
-	reg := &metricsRegistry{
-		routes:   make(map[string]*routeMetrics, len(metricRoutes)),
-		rejected: make(map[string]int64),
+// newMetricsRegistry builds the daemon's exposition. Families register
+// in the order they render; scrape-time gauges close over s, so this
+// runs after the Server's other fields are in place.
+func newMetricsRegistry(s *Server) *metricsRegistry {
+	reg := obs.NewRegistry()
+	m := &metricsRegistry{reg: reg, rewarms: &obs.Counter{}}
+
+	m.requests = reg.CounterVec("bncg_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "code")
+	m.duration = reg.HistogramVec("bncg_http_request_duration_seconds",
+		"HTTP request latency, by route.", latencyBuckets, "route")
+	reg.GaugeFunc("bncg_http_inflight_requests", "Requests currently being served.",
+		func() float64 { return float64(s.inflight.Load()) })
+	m.rejected = reg.CounterVec("bncg_http_requests_rejected_total",
+		"Requests rejected by admission control, by reason.", "reason")
+	if s.gate != nil {
+		reg.GaugeFunc("bncg_http_queued_requests", "Requests waiting for an in-flight slot.",
+			func() float64 { return float64(s.gate.queuedCount()) })
 	}
-	for _, r := range metricRoutes {
-		reg.routes[r] = &routeMetrics{
-			byCode:  make(map[int]int64),
-			buckets: make([]int64, len(latencyBuckets)+1),
-		}
+
+	// Singleflight: computations started vs streams served measures the
+	// dedup win; live flights show what is burning CPU right now.
+	reg.GaugeFunc("bncg_sweep_flights_inflight", "Shared sweep computations currently running.",
+		func() float64 { return float64(s.sweeps.live()) })
+	reg.Custom("bncg_sweep_flights_started_total",
+		"Shared sweep computations ever started; /v1/sweep requests minus this is the singleflight join count.",
+		"counter", func(e *obs.Exposition) { e.SampleInt(s.sweeps.startedCount()) })
+
+	// Verdict cache.
+	reg.Custom("bncg_cache_entries", "Memoized entries, by kind.", "gauge",
+		func(e *obs.Exposition) {
+			cs := s.cfg.Cache.Stats()
+			e.SampleInt(int64(cs.Verdicts), obs.L("kind", "verdict"))
+			e.SampleInt(int64(cs.Certificates), obs.L("kind", "certificate"))
+		})
+	reg.Custom("bncg_cache_hits_total", "Verdicts answered from the cache.", "counter",
+		func(e *obs.Exposition) { e.SampleInt(s.cfg.Cache.Stats().Hits) })
+	reg.Custom("bncg_cache_misses_total", "Verdicts that fell through to a checker or certification.", "counter",
+		func(e *obs.Exposition) { e.SampleInt(s.cfg.Cache.Stats().Misses) })
+	reg.GaugeFunc("bncg_cache_hit_ratio", "Lifetime cache hit ratio (0 when no lookups yet).",
+		func() float64 {
+			cs := s.cfg.Cache.Stats()
+			if total := cs.Hits + cs.Misses; total > 0 {
+				return float64(cs.Hits) / float64(total)
+			}
+			return 0
+		})
+
+	// Store.
+	if s.cfg.Store != nil {
+		reg.Custom("bncg_store_records", "Persisted records, by kind.", "gauge",
+			func(e *obs.Exposition) {
+				st := s.cfg.Store.Stats()
+				e.SampleInt(int64(st.VerdictRecords), obs.L("kind", "verdict"))
+				e.SampleInt(int64(st.CertificateRecords), obs.L("kind", "certificate"))
+			})
+		reg.GaugeFunc("bncg_store_disk_bytes", "Durable segment bytes on disk.",
+			func() float64 { return float64(s.cfg.Store.Stats().DiskBytes) })
+		reg.GaugeFunc("bncg_store_pending_records", "Records buffered in memory awaiting flush.",
+			func() float64 { return float64(s.cfg.Store.Stats().Pending) })
+		reg.Custom("bncg_store_flush_failures_total",
+			"Failed store flushes; non-zero means durability is degraded.", "counter",
+			func(e *obs.Exposition) { e.SampleInt(s.cfg.Store.Stats().FlushFailures) })
 	}
-	return reg
+
+	// Replica state.
+	reg.GaugeFunc("bncg_readonly", "1 when serving as a read replica, 0 when writable.",
+		func() float64 {
+			if s.cfg.ReadOnly {
+				return 1
+			}
+			return 0
+		})
+	if s.cfg.ReadOnly {
+		reg.Custom("bncg_replica_rewarms_total", "Completed replica re-warm passes.", "counter",
+			func(e *obs.Exposition) { e.SampleInt(m.rewarms.Value()) })
+		reg.GaugeFunc("bncg_replica_rewarm_records", "Store records held by the cache after the last re-warm.",
+			func() float64 { return float64(m.rewarmRecords.Load()) })
+	}
+
+	reg.Custom("bncg_uptime_seconds", "Seconds since the daemon started.", "gauge",
+		func(e *obs.Exposition) { e.SampleInt(int64(time.Since(s.started).Seconds())) })
+	return m
 }
 
 // observe records one finished request.
 func (m *metricsRegistry) observe(route string, code int, d time.Duration) {
-	rm := m.routes[route]
-	sec := d.Seconds()
-	i := sort.SearchFloat64s(latencyBuckets, sec)
-	rm.mu.Lock()
-	rm.byCode[code]++
-	rm.buckets[i]++
-	rm.sumNanos += d.Nanoseconds()
-	rm.count++
-	rm.mu.Unlock()
+	m.requests.With(route, strconv.Itoa(code)).Inc()
+	m.duration.With(route).Observe(d.Seconds())
 }
 
 // reject counts one admission-control rejection by reason
 // ("rate", "capacity", "queue_timeout").
 func (m *metricsRegistry) reject(reason string) {
-	m.mu.Lock()
-	m.rejected[reason]++
-	m.mu.Unlock()
+	m.rejected.With(reason).Inc()
+}
+
+// rejectedSnapshot returns the rejection counts by reason, for /healthz.
+func (m *metricsRegistry) rejectedSnapshot() map[string]int64 {
+	var out map[string]int64
+	m.rejected.Each(func(values []string, n int64) {
+		if out == nil {
+			out = make(map[string]int64)
+		}
+		out[values[0]] = n
+	})
+	return out
 }
 
 // rewarmed records one completed replica re-warm pass that left the cache
 // holding loaded store records.
 func (m *metricsRegistry) rewarmed(loaded int) {
-	m.mu.Lock()
-	m.rewarms++
-	m.rewarmRecords = int64(loaded)
-	m.mu.Unlock()
+	m.rewarms.Inc()
+	m.rewarmRecords.Store(int64(loaded))
 }
 
 // statusRecorder captures the response status for the metrics middleware
@@ -143,132 +206,8 @@ func (r *statusRecorder) status() int {
 	return r.code
 }
 
-// ---- exposition ----
-
-func writeMetricHeader(w io.Writer, name, help, typ string) {
-	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
-}
-
-func formatFloat(v float64) string {
-	return strconv.FormatFloat(v, 'g', -1, 64)
-}
-
-// handleMetrics renders the Prometheus text exposition: the recorded
-// per-route counters and histograms plus live gauges sampled from the
-// cache, the store and the flight groups.
+// handleMetrics renders the Prometheus text exposition.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-
-	// Per-route request counters by status code.
-	writeMetricHeader(w, "bncg_http_requests_total", "HTTP requests served, by route and status code.", "counter")
-	for _, route := range metricRoutes {
-		rm := s.metrics.routes[route]
-		rm.mu.Lock()
-		codes := make([]int, 0, len(rm.byCode))
-		for c := range rm.byCode {
-			codes = append(codes, c)
-		}
-		sort.Ints(codes)
-		for _, c := range codes {
-			fmt.Fprintf(w, "bncg_http_requests_total{route=%q,code=\"%d\"} %d\n", route, c, rm.byCode[c])
-		}
-		rm.mu.Unlock()
-	}
-
-	// Per-route latency histograms.
-	writeMetricHeader(w, "bncg_http_request_duration_seconds", "HTTP request latency, by route.", "histogram")
-	for _, route := range metricRoutes {
-		rm := s.metrics.routes[route]
-		rm.mu.Lock()
-		if rm.count == 0 {
-			rm.mu.Unlock()
-			continue
-		}
-		cum := int64(0)
-		for i, le := range latencyBuckets {
-			cum += rm.buckets[i]
-			fmt.Fprintf(w, "bncg_http_request_duration_seconds_bucket{route=%q,le=%q} %d\n",
-				route, formatFloat(le), cum)
-		}
-		cum += rm.buckets[len(latencyBuckets)]
-		fmt.Fprintf(w, "bncg_http_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
-		fmt.Fprintf(w, "bncg_http_request_duration_seconds_sum{route=%q} %s\n",
-			route, formatFloat(float64(rm.sumNanos)/1e9))
-		fmt.Fprintf(w, "bncg_http_request_duration_seconds_count{route=%q} %d\n", route, rm.count)
-		rm.mu.Unlock()
-	}
-
-	// Traffic and admission gauges/counters.
-	writeMetricHeader(w, "bncg_http_inflight_requests", "Requests currently being served.", "gauge")
-	fmt.Fprintf(w, "bncg_http_inflight_requests %d\n", s.inflight.Load())
-	writeMetricHeader(w, "bncg_http_requests_rejected_total", "Requests rejected by admission control, by reason.", "counter")
-	s.metrics.mu.Lock()
-	reasons := make([]string, 0, len(s.metrics.rejected))
-	for reason := range s.metrics.rejected {
-		reasons = append(reasons, reason)
-	}
-	sort.Strings(reasons)
-	for _, reason := range reasons {
-		fmt.Fprintf(w, "bncg_http_requests_rejected_total{reason=%q} %d\n", reason, s.metrics.rejected[reason])
-	}
-	rewarms, rewarmRecords := s.metrics.rewarms, s.metrics.rewarmRecords
-	s.metrics.mu.Unlock()
-	if s.gate != nil {
-		writeMetricHeader(w, "bncg_http_queued_requests", "Requests waiting for an in-flight slot.", "gauge")
-		fmt.Fprintf(w, "bncg_http_queued_requests %d\n", s.gate.queuedCount())
-	}
-
-	// Singleflight: computations started vs streams served measures the
-	// dedup win; live flights show what is burning CPU right now.
-	writeMetricHeader(w, "bncg_sweep_flights_inflight", "Shared sweep computations currently running.", "gauge")
-	fmt.Fprintf(w, "bncg_sweep_flights_inflight %d\n", s.sweeps.live())
-	writeMetricHeader(w, "bncg_sweep_flights_started_total", "Shared sweep computations ever started; /v1/sweep requests minus this is the singleflight join count.", "counter")
-	fmt.Fprintf(w, "bncg_sweep_flights_started_total %d\n", s.sweeps.startedCount())
-
-	// Verdict cache.
-	cs := s.cfg.Cache.Stats()
-	writeMetricHeader(w, "bncg_cache_entries", "Memoized entries, by kind.", "gauge")
-	fmt.Fprintf(w, "bncg_cache_entries{kind=\"verdict\"} %d\n", cs.Verdicts)
-	fmt.Fprintf(w, "bncg_cache_entries{kind=\"certificate\"} %d\n", cs.Certificates)
-	writeMetricHeader(w, "bncg_cache_hits_total", "Verdicts answered from the cache.", "counter")
-	fmt.Fprintf(w, "bncg_cache_hits_total %d\n", cs.Hits)
-	writeMetricHeader(w, "bncg_cache_misses_total", "Verdicts that fell through to a checker or certification.", "counter")
-	fmt.Fprintf(w, "bncg_cache_misses_total %d\n", cs.Misses)
-	writeMetricHeader(w, "bncg_cache_hit_ratio", "Lifetime cache hit ratio (0 when no lookups yet).", "gauge")
-	ratio := 0.0
-	if total := cs.Hits + cs.Misses; total > 0 {
-		ratio = float64(cs.Hits) / float64(total)
-	}
-	fmt.Fprintf(w, "bncg_cache_hit_ratio %s\n", formatFloat(ratio))
-
-	// Store.
-	if s.cfg.Store != nil {
-		st := s.cfg.Store.Stats()
-		writeMetricHeader(w, "bncg_store_records", "Persisted records, by kind.", "gauge")
-		fmt.Fprintf(w, "bncg_store_records{kind=\"verdict\"} %d\n", st.VerdictRecords)
-		fmt.Fprintf(w, "bncg_store_records{kind=\"certificate\"} %d\n", st.CertificateRecords)
-		writeMetricHeader(w, "bncg_store_disk_bytes", "Durable segment bytes on disk.", "gauge")
-		fmt.Fprintf(w, "bncg_store_disk_bytes %d\n", st.DiskBytes)
-		writeMetricHeader(w, "bncg_store_pending_records", "Records buffered in memory awaiting flush.", "gauge")
-		fmt.Fprintf(w, "bncg_store_pending_records %d\n", st.Pending)
-		writeMetricHeader(w, "bncg_store_flush_failures_total", "Failed store flushes; non-zero means durability is degraded.", "counter")
-		fmt.Fprintf(w, "bncg_store_flush_failures_total %d\n", st.FlushFailures)
-	}
-
-	// Replica state.
-	writeMetricHeader(w, "bncg_readonly", "1 when serving as a read replica, 0 when writable.", "gauge")
-	if s.cfg.ReadOnly {
-		fmt.Fprintln(w, "bncg_readonly 1")
-	} else {
-		fmt.Fprintln(w, "bncg_readonly 0")
-	}
-	if s.cfg.ReadOnly {
-		writeMetricHeader(w, "bncg_replica_rewarms_total", "Completed replica re-warm passes.", "counter")
-		fmt.Fprintf(w, "bncg_replica_rewarms_total %d\n", rewarms)
-		writeMetricHeader(w, "bncg_replica_rewarm_records", "Store records held by the cache after the last re-warm.", "gauge")
-		fmt.Fprintf(w, "bncg_replica_rewarm_records %d\n", rewarmRecords)
-	}
-
-	writeMetricHeader(w, "bncg_uptime_seconds", "Seconds since the daemon started.", "gauge")
-	fmt.Fprintf(w, "bncg_uptime_seconds %d\n", int64(time.Since(s.started).Seconds()))
+	s.metrics.reg.WriteText(w)
 }

@@ -57,6 +57,7 @@ import (
 	"repro/internal/eq"
 	"repro/internal/game"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -114,6 +115,11 @@ type Config struct {
 	// ReadOnly and a Store are set; < 0 disables the loop, for tests that
 	// drive re-warms by hand).
 	RewarmInterval time.Duration
+
+	// EnablePprof mounts the net/http/pprof handlers under /debug/pprof/
+	// (bncg serve -pprof). Profiling endpoints go through admission
+	// control like any other non-observability route.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -178,16 +184,19 @@ func New(cfg Config) *Server {
 		sweeps:  newFlightGroup(),
 		calls:   newCallGroup(),
 		started: time.Now(),
-		metrics: newMetricsRegistry(),
 		limiter: newTokenBuckets(cfg.RatePerSec, cfg.Burst),
 		gate:    newGate(cfg.MaxInflight, cfg.MaxQueue, cfg.QueueWait),
 	}
+	s.metrics = newMetricsRegistry(s)
 	s.mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("GET /v1/poa", s.handlePoA)
 	s.mux.HandleFunc("GET /v1/critical", s.handleCritical)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if cfg.EnablePprof {
+		obs.MountPprof(s.mux)
+	}
 	if s.cfg.ReadOnly && s.cfg.Store != nil && s.cfg.RewarmInterval > 0 {
 		s.startRewarm()
 	}
@@ -780,15 +789,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			"request_timeout": int(s.cfg.RequestTimeout.Seconds()),
 		},
 	}
-	s.metrics.mu.Lock()
-	if len(s.metrics.rejected) > 0 {
-		h.Rejected = make(map[string]int64, len(s.metrics.rejected))
-		for reason, n := range s.metrics.rejected {
-			h.Rejected[reason] = n
-		}
-	}
-	h.Rewarms = s.metrics.rewarms
-	s.metrics.mu.Unlock()
+	h.Rejected = s.metrics.rejectedSnapshot()
+	h.Rewarms = s.metrics.rewarms.Value()
 	if s.cfg.Store != nil {
 		st := s.cfg.Store.Stats()
 		h.Store = &st

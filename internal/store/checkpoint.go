@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"repro/internal/obs"
 )
 
 // The checkpoint is a small JSON document riding alongside the segments —
@@ -22,10 +24,12 @@ func (s *Store) SaveCheckpoint(v any) error {
 	if s.opts.ReadOnly {
 		return fmt.Errorf("store: SaveCheckpoint on a read-only store")
 	}
+	sp := s.opts.Trace.Start("store_checkpoint")
 	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return err
 	}
+	defer func() { sp.End(obs.Attrs{"bytes": len(data) + 1}) }()
 	path := filepath.Join(s.dir, checkpointFile)
 	tmp := path + ".tmp"
 	if err := writeFileSync(tmp, append(data, '\n')); err != nil {

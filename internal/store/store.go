@@ -46,6 +46,8 @@ import (
 	"sync"
 	"syscall"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // WriteSyncer is the write handle of one segment file — the subset of
@@ -93,6 +95,9 @@ type Options struct {
 	// — a wrapper returning write or sync errors drives the flush-failure
 	// paths deterministically. Leave nil in production.
 	WrapSegmentWriter func(WriteSyncer) WriteSyncer
+	// Trace, when non-nil, records "store_flush" spans (only for flushes
+	// with pending records), "store_compact" and "store_checkpoint" spans.
+	Trace *obs.Tracer
 }
 
 // Stats is an observability snapshot of a store.
@@ -113,6 +118,9 @@ type Stats struct {
 	Pending int `json:"pending"`
 	// Appended counts records appended by this session.
 	Appended int64 `json:"appended"`
+	// FlushedBytes counts segment bytes made durable by this session's
+	// flushes — the sidecar's flush-throughput counter.
+	FlushedBytes int64 `json:"flushed_bytes,omitempty"`
 	// RecoveredBytes counts bytes truncated from torn segment tails at
 	// Open — non-zero after recovering from a crash.
 	RecoveredBytes int64 `json:"recovered_bytes,omitempty"`
@@ -489,10 +497,22 @@ func (s *Store) Flush() error {
 }
 
 func (s *Store) flushLocked() error {
+	var sp *obs.Span
+	records, bytes0 := s.pending, s.stats.FlushedBytes
+	if s.opts.Trace != nil && s.pending > 0 {
+		sp = s.opts.Trace.Start("store_flush")
+	}
 	err := s.writePendingLocked()
 	if err != nil {
 		s.stats.FlushFailures++
 		s.stats.LastFlushError = err.Error()
+	}
+	if sp != nil {
+		attrs := obs.Attrs{"records": records - s.pending, "bytes": s.stats.FlushedBytes - bytes0}
+		if err != nil {
+			attrs["error"] = err.Error()
+		}
+		sp.End(attrs)
 	}
 	return err
 }
@@ -511,6 +531,7 @@ func (s *Store) writePendingLocked() error {
 			return err
 		}
 		seg.size += int64(len(seg.pending))
+		s.stats.FlushedBytes += int64(len(seg.pending))
 		s.pending -= countFrames(seg.pending)
 		seg.pending = seg.pending[:0]
 		seg.dirty = true
@@ -794,6 +815,18 @@ func (s *Store) Compact() error {
 	if s.closed || s.opts.ReadOnly {
 		return fmt.Errorf("store: Compact on a closed or read-only store")
 	}
+	diskBytes := func() int64 {
+		var n int64
+		for _, seg := range s.segs {
+			n += seg.size
+		}
+		return n
+	}
+	sp := s.opts.Trace.Start("store_compact")
+	before := diskBytes()
+	defer func() {
+		sp.End(obs.Attrs{"bytes_before": before, "bytes_after": diskBytes()})
+	}()
 	if err := s.flushLocked(); err != nil {
 		return err
 	}

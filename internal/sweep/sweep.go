@@ -55,10 +55,12 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/eq"
 	"repro/internal/game"
 	"repro/internal/graph"
+	"repro/internal/obs"
 )
 
 // Source selects the graph stream a sweep shards across its workers.
@@ -121,6 +123,15 @@ type Options struct {
 	// after each completed task with (done, total). Completion order is
 	// scheduling-dependent; only the counts are reported.
 	Progress func(done, total int)
+	// Trace, when non-nil, records spans for the sweep's stages: one
+	// "enumerate" span for materializing the class stream, a "class" span
+	// per completed class (attrs: absolute class position, worker index,
+	// cached), and nested "certify"/"cache_write" spans for each fresh
+	// certificate scan. A nil Tracer costs one pointer check per class.
+	Trace *obs.Tracer
+	// Metrics, when non-nil, receives class/certify completions for the
+	// sidecar exposition (bncg sweep/worker -metrics-addr).
+	Metrics *obs.ComputeMetrics
 }
 
 // Vector is a stability bit vector over a sweep's concept grid: bit i is
@@ -258,6 +269,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	enumSpan := opts.Trace.Start("enumerate")
 	var graphs []*graph.Graph
 	var keys []string
 	pos := 0
@@ -278,6 +290,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		res.Orbits = append(res.Orbits, cl.Orbit)
 	}
 	res.Graphs = len(graphs)
+	enumSpan.End(obs.Attrs{"classes": len(graphs), "n": opts.N, "source": opts.Source.String()})
 	res.Items = make([]Item, len(graphs)*len(opts.Alphas))
 	if err := ctx.Err(); err != nil {
 		// Cancelled during enumeration: the grid is unreliable, report it
@@ -313,6 +326,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 					return
 				}
 				g := graphs[gi]
+				classSpan := opts.Trace.Start("class")
 				items := make([]Item, nAlphas)
 				certs := make([]eq.AlphaSet, len(opts.Concepts))
 				fromCache := true
@@ -335,10 +349,28 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 							ev.Bind(games[0], g.Clone())
 							bound = true
 						}
+						var certT0 time.Time
+						if opts.Metrics != nil {
+							certT0 = time.Now()
+						}
+						certSpan := opts.Trace.Start("certify")
 						set = ev.CertifyBound(concept)
+						// The nil-guards around End keep the disabled path
+						// allocation-free: the Attrs literal is only built
+						// when a frame will actually be written.
+						if certSpan != nil {
+							certSpan.End(obs.Attrs{"class": opts.ClassStart + gi, "concept": concept.String()})
+						}
+						if opts.Metrics != nil {
+							opts.Metrics.CertifyObserved(time.Since(certT0))
+						}
 						certified.Add(1)
 						if opts.Cache != nil {
+							writeSpan := opts.Trace.Start("cache_write")
 							opts.Cache.PutCert(keys[gi], concept, set)
+							if writeSpan != nil {
+								writeSpan.End(obs.Attrs{"class": opts.ClassStart + gi, "concept": concept.String()})
+							}
 						}
 					}
 					certs[ci] = set
@@ -359,6 +391,10 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 						items[ai].Rho = ev.Rho(games[ai], g)
 					}
 				}
+				if classSpan != nil {
+					classSpan.End(obs.Attrs{"class": opts.ClassStart + gi, "cached": fromCache, "worker": w})
+				}
+				opts.Metrics.ClassDone(fromCache)
 				completions <- completion{gi, items, certs}
 			}
 		}()
