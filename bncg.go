@@ -446,6 +446,53 @@ var (
 	ExperimentIDs = experiments.IDs
 )
 
+// Game variants (v9): one certificate engine, many games. A GameVariant
+// describes which game the engine evaluates — consent mode, distance
+// aggregate, per-agent price multipliers — and threads through
+// Game.Variant, SweepOptions.Variant, store records and the /v1/*
+// `variant` query parameter. The zero value is the paper's default model
+// and behaves (and persists, and serializes) exactly as before.
+type (
+	// GameVariant is the first-class variant descriptor.
+	GameVariant = game.Variant
+	// VariantConsent selects who must agree to an edge change.
+	VariantConsent = game.Consent
+	// VariantDistMode selects the distance aggregate of the cost.
+	VariantDistMode = game.DistMode
+	// VariantAgentPrice is one agent's exact rational price multiplier.
+	VariantAgentPrice = game.AgentPrice
+)
+
+// The consent modes and distance aggregates. The zero values —
+// ConsentBilateral, DistSum — are the paper's model.
+const (
+	ConsentBilateral  = game.ConsentBilateral
+	ConsentUnilateral = game.ConsentUnilateral
+	DistSum           = game.DistSum
+	DistMax           = game.DistMax
+)
+
+var (
+	// NewVariant validates and builds a variant descriptor.
+	NewVariant = game.NewVariant
+	// ParseVariant parses the canonical descriptor grammar
+	// ("unilateral", "max", "mul:U=P/Q", comma-joined; "" is the
+	// default variant). GameVariant.Key is its inverse.
+	ParseVariant = game.ParseVariant
+	// UnilateralNCGVariant is the unilateral NCG of the related-work
+	// baseline as a variant descriptor: the promotion of internal/ncg
+	// onto the shared certificate engine.
+	UnilateralNCGVariant = ncg.UnilateralVariant
+	// CheckUnilateralAE checks an ownership-free adjacency equilibrium
+	// of the unilateral NCG (routes through the variant engine).
+	CheckUnilateralAE = eq.CheckUnilateralAE
+)
+
+// SchemaVersion is the generation stamp every public JSON payload carries
+// as "schema_version": sweep results, /v1/* bodies and the CLI's -json
+// outputs alike.
+const SchemaVersion = sweep.SchemaVersion
+
 // Compute-plane observability (v8): NDJSON span tracing, the shared
 // hand-rolled Prometheus registry, sidecar metrics/pprof listeners, and
 // the trace analyzer behind `bncg trace`.

@@ -12,24 +12,25 @@
 //	bncg [-timeout <d>] cost -alpha <p[/q]> [-file <graph>]
 //	bncg [-timeout <d>] poa -n <nodes> -alpha <p[/q]> -concept <name> [-graphs] [-json]
 //	bncg [-timeout <d>] sweep [-n <nodes>] [-workers <w>] [-alphas <grid>]
-//	     [-concepts <list>] [-trees] [-rho] [-exact] [-json] [-progress]
-//	     [-store <dir>] [-resume] [-trace <file>] [-metrics-addr <host:port>]
-//	     [-pprof]
+//	     [-concepts <list>] [-variant <desc>] [-trees] [-rho] [-exact]
+//	     [-json] [-progress] [-store <dir>] [-resume] [-trace <file>]
+//	     [-metrics-addr <host:port>] [-pprof]
 //	bncg [-timeout <d>] critical [-n <nodes>] [-workers <w>]
-//	     [-concepts <list>] [-trees] [-json] [-store <dir>]
+//	     [-concepts <list>] [-variant <desc>] [-trees] [-json] [-store <dir>]
 //	bncg serve [-addr <host:port>] [-store <dir>] [-workers <w>]
-//	     [-max-n <n>] [-max-tree-n <n>] [-request-timeout <d>]
-//	     [-rate <r/s>] [-burst <b>] [-max-inflight <c>] [-max-queue <q>]
-//	     [-queue-wait <d>] [-readonly] [-rewarm-interval <d>] [-pprof]
+//	     [-variant <desc>] [-max-n <n>] [-max-tree-n <n>]
+//	     [-request-timeout <d>] [-rate <r/s>] [-burst <b>]
+//	     [-max-inflight <c>] [-max-queue <q>] [-queue-wait <d>] [-readonly]
+//	     [-rewarm-interval <d>] [-pprof]
 //	bncg store stats|compact|dump -dir <dir>
 //	bncg store merge -out <dir> <shard>...
 //	bncg [-timeout <d>] fleet -dir <dir> [-n <nodes>] [-concepts <list>]
-//	     [-trees] [-range-size <k>] [-watch <d>] [-plan-only] [-merge-out <dir>]
-//	     [-trace <file>]
+//	     [-variant <desc>] [-trees] [-range-size <k>] [-watch <d>]
+//	     [-plan-only] [-merge-out <dir>] [-trace <file>]
 //	bncg fleet status -dir <dir> [-json]
 //	bncg [-timeout <d>] worker -dir <dir> [-id <name>] [-store <dir>]
-//	     [-ttl <d>] [-poll <d>] [-workers <w>] [-progress] [-trace <file>]
-//	     [-metrics-addr <host:port>] [-pprof]
+//	     [-variant <desc>] [-ttl <d>] [-poll <d>] [-workers <w>] [-progress]
+//	     [-trace <file>] [-metrics-addr <host:port>] [-pprof]
 //	bncg trace [-json] [-top <k>] <file>...
 //
 // The global -timeout flag bounds the whole invocation; SIGINT (Ctrl-C)
@@ -69,6 +70,15 @@
 // -pprof mounts net/http/pprof on that sidecar, and on serve's own mux.
 // `fleet status` prints a read-only snapshot of the lease table without
 // taking the writer lock, so it is safe against a live fleet.
+//
+// Game variants (v9): -variant selects which game the engine evaluates —
+// "unilateral" (consent), "max" (eccentricity distance), "mul:AGENT=P/Q"
+// (per-agent price multipliers), comma-joined; the empty default is the
+// paper's bilateral sum-distance game. sweep and critical certify the
+// selected variant (verdicts, certificates and checkpoints persist
+// variant-tagged); serve makes it the daemon's default, which requests
+// override per call with ?variant=; fleet plans it into the lease table,
+// and worker -variant asserts the table's grid matches before joining.
 //
 // Graphs are read in the plain text edge-list format ("n <count>" then one
 // "u v" pair per line); with no -file, standard input is read.
@@ -449,26 +459,27 @@ const checkpointEvery = 256
 // sameGrid reports whether two checkpoints describe the same sweep grid,
 // ignoring progress.
 func sameGrid(a, b bncg.SweepCheckpoint) bool {
-	return a.N == b.N && a.Source == b.Source && a.Rho == b.Rho &&
+	return a.N == b.N && a.Source == b.Source && a.Variant == b.Variant && a.Rho == b.Rho &&
 		slices.Equal(a.Alphas, b.Alphas) && slices.Equal(a.Concepts, b.Concepts)
 }
 
 func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	var cf commonFlags
 	n := fs.Int("n", 6, "node count (6 is the Full-scale lattice sweep)")
-	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	cf.addWorkers(fs, "worker pool size (0 = all CPUs)")
 	alphasStr := fs.String("alphas", "1/2,1,3/2,2,3,5", "comma-separated α grid")
 	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
+	cf.addVariant(fs)
 	trees := fs.Bool("trees", false, "sweep free trees instead of connected graphs")
 	rho := fs.Bool("rho", false, "also compute the social cost ratio ρ per graph")
 	exact := fs.Bool("exact", false, "append the exact critical-α report: the rational thresholds where verdicts flip")
 	asJSON := fs.Bool("json", false, "emit the full result as JSON instead of the text report")
 	progress := fs.Bool("progress", false, "report task completion and cache stats on stderr")
-	storeDir := fs.String("store", "", "verdict store directory: warm-start the cache, persist new verdicts, checkpoint progress")
+	cf.addStore(fs, "verdict store directory: warm-start the cache, persist new verdicts, checkpoint progress")
 	resume := fs.Bool("resume", false, "resume the checkpointed sweep in -store (grid flags come from the checkpoint)")
-	tracePath := fs.String("trace", "", "append NDJSON spans for this sweep to <file> (read back with `bncg trace`)")
-	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics for this sweep on a sidecar listener")
-	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the -metrics-addr sidecar")
+	cf.addTrace(fs, "append NDJSON spans for this sweep to <file> (read back with `bncg trace`)")
+	cf.addSidecar(fs, "sweep")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -477,6 +488,10 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 		return err
 	}
 	concepts, err := parseConceptList(*conceptsStr)
+	if err != nil {
+		return err
+	}
+	variant, err := cf.variant()
 	if err != nil {
 		return err
 	}
@@ -489,57 +504,29 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 		Alphas:   alphas,
 		Concepts: concepts,
 		Source:   source,
+		Variant:  variant,
 		Rho:      *rho,
 	}
 
-	var tracer *bncg.Tracer
-	if *tracePath != "" {
-		tracer, err = bncg.CreateTrace(*tracePath, "sweep")
-		if err != nil {
-			return err
-		}
-		defer func() { _ = tracer.Close() }()
+	tracer, closeTracer, err := cf.openTracer("sweep")
+	if err != nil {
+		return err
 	}
+	defer closeTracer()
 	cache := bncg.SharedSweepCache()
-	var st *bncg.VerdictStore
-	if *storeDir != "" {
-		var err error
-		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{Trace: tracer})
-		if err != nil {
-			return err
-		}
-		defer st.Close()
-		defer cache.Persist(nil)
-		warmSpan := tracer.Start("warmstart")
-		loaded := cache.WarmStart(st)
-		warmSpan.End(bncg.TraceAttrs{"records": loaded})
-		if loaded > 0 && *progress {
-			fmt.Fprintf(os.Stderr, "store: warm-started %d verdicts from %s\n", loaded, *storeDir)
-		}
-		cache.Persist(st)
+	st, closeStore, err := cf.openSweepStore(cache, tracer, *progress)
+	if err != nil {
+		return err
 	}
-	var metrics *bncg.ComputeMetrics
-	if *metricsAddr != "" {
-		metrics = bncg.NewComputeMetrics()
-		metrics.BindCacheStats(func() (int, int, int64, int64) {
-			s := cache.Stats()
-			return s.Verdicts, s.Certificates, s.Hits, s.Misses
-		})
-		if st != nil {
-			metrics.BindStoreStats(func() (int64, int64, int64, int) {
-				s := st.Stats()
-				return s.FlushedBytes, s.FlushFailures, s.DiskBytes, s.Pending
-			})
-		}
-		sidecar, err := bncg.StartMetricsSidecar(*metricsAddr, metrics.Registry, *pprofFlag)
-		if err != nil {
-			return err
-		}
-		defer sidecar.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", sidecar.Addr())
-	} else if *pprofFlag {
-		return fmt.Errorf("sweep: -pprof needs the -metrics-addr sidecar to serve it")
+	defer closeStore()
+	metrics := cf.metrics()
+	bindCacheStats(metrics, cache)
+	bindStoreStats(metrics, st)
+	closeSidecar, err := cf.startSidecar("sweep", metrics)
+	if err != nil {
+		return err
 	}
+	defer closeSidecar()
 	if *resume {
 		if st == nil {
 			return fmt.Errorf("sweep: -resume requires -store")
@@ -550,7 +537,7 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 			return err
 		}
 		if !ok {
-			return fmt.Errorf("sweep: nothing to resume: no checkpoint in %s", *storeDir)
+			return fmt.Errorf("sweep: nothing to resume: no checkpoint in %s", *cf.storeDir)
 		}
 		resumed, err := cp.Options()
 		if err != nil {
@@ -570,10 +557,10 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		if ok && !sameGrid(cp, bncg.NewSweepCheckpoint(opts, 0, 0)) {
 			return fmt.Errorf("sweep: %s holds the checkpoint of an interrupted n=%d source=%s sweep (%d/%d tasks); continue it with `sweep -store %s -resume`, or delete %s to abandon it",
-				*storeDir, cp.N, cp.Source, cp.Completed, cp.Total, *storeDir, filepath.Join(*storeDir, "checkpoint.json"))
+				*cf.storeDir, cp.N, cp.Source, cp.Completed, cp.Total, *cf.storeDir, filepath.Join(*cf.storeDir, "checkpoint.json"))
 		}
 	}
-	opts.Workers = *workers
+	opts.Workers = *cf.workers
 	opts.Cache = cache
 	opts.Trace = tracer
 	opts.Metrics = metrics
@@ -652,16 +639,22 @@ func runSweep(ctx context.Context, args []string, stdout io.Writer) error {
 // needed: the certificates answer the whole axis.
 func runCritical(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("critical", flag.ContinueOnError)
+	var cf commonFlags
 	n := fs.Int("n", 5, "node count")
-	workers := fs.Int("workers", 0, "worker pool size (0 = all CPUs)")
+	cf.addWorkers(fs, "worker pool size (0 = all CPUs)")
 	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
+	cf.addVariant(fs)
 	trees := fs.Bool("trees", false, "analyze free trees instead of connected graphs")
 	asJSON := fs.Bool("json", false, "emit the analysis as JSON instead of text")
-	storeDir := fs.String("store", "", "verdict store directory: warm-start the certificate cache, persist new certificates")
+	cf.addStore(fs, "verdict store directory: warm-start the certificate cache, persist new certificates")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	concepts, err := parseConceptList(*conceptsStr)
+	if err != nil {
+		return err
+	}
+	variant, err := cf.variant()
 	if err != nil {
 		return err
 	}
@@ -670,24 +663,20 @@ func runCritical(ctx context.Context, args []string, stdout io.Writer) error {
 		source = bncg.SweepTrees
 	}
 	cache := bncg.SharedSweepCache()
-	if *storeDir != "" {
-		st, err := bncg.OpenStore(*storeDir, bncg.StoreOptions{})
-		if err != nil {
-			return err
-		}
-		defer st.Close()
-		defer cache.Persist(nil)
-		cache.WarmStart(st)
-		cache.Persist(st)
+	_, closeStore, err := cf.openSweepStore(cache, nil, false)
+	if err != nil {
+		return err
 	}
+	defer closeStore()
 	res, err := bncg.RunSweep(ctx, bncg.SweepOptions{
 		N: *n,
 		// A single-point grid satisfies the engine's options contract; the
 		// certificates it computes cover every α.
 		Alphas:   []bncg.Alpha{bncg.AlphaInt(1)},
 		Concepts: concepts,
-		Workers:  *workers,
+		Workers:  *cf.workers,
 		Source:   source,
+		Variant:  variant,
 		Cache:    cache,
 	})
 	if err != nil {
@@ -701,11 +690,13 @@ func runCritical(ctx context.Context, args []string, stdout io.Writer) error {
 		// the single schema definition shared with /v1/critical and the
 		// sweep JSON.
 		out := struct {
-			N        int                         `json:"n"`
-			Source   string                      `json:"source"`
-			Classes  int                         `json:"classes"`
-			Critical []bncg.SweepConceptCritical `json:"critical"`
-		}{*n, source.String(), res.Graphs, res.Critical}
+			SchemaVersion int                         `json:"schema_version"`
+			N             int                         `json:"n"`
+			Source        string                      `json:"source"`
+			Variant       string                      `json:"variant,omitempty"`
+			Classes       int                         `json:"classes"`
+			Critical      []bncg.SweepConceptCritical `json:"critical"`
+		}{bncg.SchemaVersion, *n, source.String(), variant.Key(), res.Graphs, res.Critical}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
@@ -716,9 +707,11 @@ func runCritical(ctx context.Context, args []string, stdout io.Writer) error {
 
 func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	var cf commonFlags
 	addr := fs.String("addr", "127.0.0.1:8371", "listen address")
-	storeDir := fs.String("store", "", "verdict store directory backing the daemon")
-	workers := fs.Int("workers", 0, "sweep worker pool per computation (0 = all CPUs)")
+	cf.addStore(fs, "verdict store directory backing the daemon")
+	cf.addWorkers(fs, "sweep worker pool per computation (0 = all CPUs)")
+	cf.addVariant(fs)
 	maxN := fs.Int("max-n", 0, "cap on n for connected-graph requests (0 = default 7)")
 	maxTreeN := fs.Int("max-tree-n", 0, "cap on n for free-tree requests (0 = default 12)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-computation deadline (0 = default 2m)")
@@ -734,14 +727,18 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *readonly && *storeDir == "" {
+	if *readonly && *cf.storeDir == "" {
 		return fmt.Errorf("serve: -readonly requires -store (a replica serves a writer's store)")
+	}
+	variant, err := cf.variant()
+	if err != nil {
+		return err
 	}
 	cache := bncg.SharedSweepCache()
 	var st *bncg.VerdictStore
-	if *storeDir != "" {
+	if *cf.storeDir != "" {
 		var err error
-		st, err = bncg.OpenStore(*storeDir, bncg.StoreOptions{
+		st, err = bncg.OpenStore(*cf.storeDir, bncg.StoreOptions{
 			FlushInterval: *flushInterval,
 			ReadOnly:      *readonly,
 		})
@@ -751,17 +748,18 @@ func runServe(ctx context.Context, args []string, stdout io.Writer) error {
 		defer st.Close()
 		loaded := cache.WarmStart(st)
 		if *readonly {
-			fmt.Fprintf(stdout, "store: %s (replica, %d records warm-started)\n", *storeDir, loaded)
+			fmt.Fprintf(stdout, "store: %s (replica, %d records warm-started)\n", *cf.storeDir, loaded)
 		} else {
 			defer cache.Persist(nil)
 			cache.Persist(st)
-			fmt.Fprintf(stdout, "store: %s (%d verdicts warm-started)\n", *storeDir, loaded)
+			fmt.Fprintf(stdout, "store: %s (%d verdicts warm-started)\n", *cf.storeDir, loaded)
 		}
 	}
 	srv := bncg.NewServer(bncg.ServerConfig{
 		Cache:          cache,
 		Store:          st,
-		Workers:        *workers,
+		Workers:        *cf.workers,
+		DefaultVariant: variant,
 		MaxN:           *maxN,
 		MaxTreeN:       *maxTreeN,
 		RequestTimeout: *reqTimeout,
@@ -833,9 +831,10 @@ func runStore(args []string, stdout io.Writer) error {
 		// visible at a glance: uneven canonical-key hashing shows up as
 		// one segment's bytes dwarfing its siblings'.
 		out := struct {
+			SchemaVersion int `json:"schema_version"`
 			bncg.StoreStats
 			SegmentDetail []bncg.StoreSegmentStat `json:"segment_detail"`
-		}{st.Stats(), st.SegmentStats()}
+		}{bncg.SchemaVersion, st.Stats(), st.SegmentStats()}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
@@ -920,10 +919,13 @@ func dumpStore(st *bncg.VerdictStore, stdout io.Writer) error {
 		if c := strings.Compare(a.Canon, b.Canon); c != 0 {
 			return c
 		}
+		if c := strings.Compare(a.Variant, b.Variant); c != 0 {
+			return c
+		}
 		return int(a.Concept) - int(b.Concept)
 	})
 	for _, r := range certs {
-		fmt.Fprintf(stdout, "cert %x %s %s\n", r.Canon, bncg.Concept(r.Concept), intervalsString(r.Intervals))
+		fmt.Fprintf(stdout, "cert %x %s%s %s\n", r.Canon, bncg.Concept(r.Concept), dumpVariant(r.Variant), intervalsString(r.Intervals))
 	}
 	var recs []bncg.StoreRecord
 	st.Range(func(r bncg.StoreRecord) bool {
@@ -932,6 +934,9 @@ func dumpStore(st *bncg.VerdictStore, stdout io.Writer) error {
 	})
 	slices.SortFunc(recs, func(a, b bncg.StoreRecord) int {
 		if c := strings.Compare(a.Canon, b.Canon); c != 0 {
+			return c
+		}
+		if c := strings.Compare(a.Variant, b.Variant); c != 0 {
 			return c
 		}
 		if a.Num != b.Num {
@@ -947,9 +952,18 @@ func dumpStore(st *bncg.VerdictStore, stdout io.Writer) error {
 		if r.Stable {
 			verdict = "stable"
 		}
-		fmt.Fprintf(stdout, "verdict %x %s %d/%d %s\n", r.Canon, bncg.Concept(r.Concept), r.Num, r.Den, verdict)
+		fmt.Fprintf(stdout, "verdict %x %s%s %d/%d %s\n", r.Canon, bncg.Concept(r.Concept), dumpVariant(r.Variant), r.Num, r.Den, verdict)
 	}
 	return nil
+}
+
+// dumpVariant renders a record's variant for `store dump` lines — empty
+// for the default variant, so pre-variant stores dump byte-identically.
+func dumpVariant(variant string) string {
+	if variant == "" {
+		return ""
+	}
+	return " variant=" + variant
 }
 
 // intervalsString renders a persisted certificate's α set, e.g.
@@ -995,31 +1009,33 @@ func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
 		return runFleetStatus(args[1:], stdout)
 	}
 	fs := flag.NewFlagSet("fleet", flag.ContinueOnError)
+	var cf commonFlags
 	dir := fs.String("dir", "", "fleet directory: lease table + default shard location")
 	n := fs.Int("n", 7, "node count (7 is the fleet-scale frontier)")
 	conceptsStr := fs.String("concepts", "all", "comma-separated concepts (default: all nine)")
+	cf.addVariant(fs)
 	trees := fs.Bool("trees", false, "sweep free trees instead of connected graphs")
 	rangeSize := fs.Int("range-size", 32, "classes per lease range")
 	watch := fs.Duration("watch", 2*time.Second, "monitor poll interval")
 	planOnly := fs.Bool("plan-only", false, "plan and persist the lease table, then exit without monitoring")
 	mergeOut := fs.String("merge-out", "", "after completion, merge every shard under <dir>/shards into this store")
-	tracePath := fs.String("trace", "", "append NDJSON spans for the coordinator (plan, reclaims, merge) to <file>")
+	cf.addTrace(fs, "append NDJSON spans for the coordinator (plan, reclaims, merge) to <file>")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *dir == "" {
 		return fmt.Errorf("fleet: missing -dir")
 	}
-	var tracer *bncg.Tracer
-	if *tracePath != "" {
-		var err error
-		tracer, err = bncg.CreateTrace(*tracePath, "fleet")
-		if err != nil {
-			return err
-		}
-		defer func() { _ = tracer.Close() }()
+	tracer, closeTracer, err := cf.openTracer("fleet")
+	if err != nil {
+		return err
 	}
+	defer closeTracer()
 	concepts, err := parseConceptList(*conceptsStr)
+	if err != nil {
+		return err
+	}
+	variant, err := cf.variant()
 	if err != nil {
 		return err
 	}
@@ -1039,6 +1055,7 @@ func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
 		Alphas:   []bncg.Alpha{one},
 		Concepts: concepts,
 		Source:   source,
+		Variant:  variant,
 	}
 
 	table, err := bncg.LoadFleet(*dir)
@@ -1159,16 +1176,17 @@ func runFleet(ctx context.Context, args []string, stdout io.Writer) error {
 // sharing the filesystem.
 func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	var cf commonFlags
 	dir := fs.String("dir", "", "fleet directory holding the lease table")
 	id := fs.String("id", "", "worker id recorded as lease owner (default: host-pid)")
-	storeDir := fs.String("store", "", "this worker's shard store (default: <dir>/shards/<id>)")
+	cf.addStore(fs, "this worker's shard store (default: <dir>/shards/<id>)")
+	cf.addVariant(fs)
 	ttl := fs.Duration("ttl", 30*time.Second, "lease duration; heartbeats extend it")
 	poll := fs.Duration("poll", 500*time.Millisecond, "back-off between claim attempts when every range is taken")
-	workers := fs.Int("workers", 0, "per-range sweep pool size (0 = all CPUs)")
+	cf.addWorkers(fs, "per-range sweep pool size (0 = all CPUs)")
 	progress := fs.Bool("progress", false, "log per-range lease activity on stderr")
-	tracePath := fs.String("trace", "", "append NDJSON spans for this worker's shard to <file> (merge shard traces with `bncg trace`)")
-	metricsAddr := fs.String("metrics-addr", "", "serve Prometheus /metrics for this worker on a sidecar listener")
-	pprofFlag := fs.Bool("pprof", false, "mount /debug/pprof on the -metrics-addr sidecar")
+	cf.addTrace(fs, "append NDJSON spans for this worker's shard to <file> (merge shard traces with `bncg trace`)")
+	cf.addSidecar(fs, "worker")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -1182,48 +1200,51 @@ func runWorker(ctx context.Context, args []string, stdout io.Writer) error {
 		}
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	if *storeDir == "" {
-		*storeDir = filepath.Join(*dir, bncg.FleetShardsDir, *id)
+	if *cf.storeDir == "" {
+		*cf.storeDir = filepath.Join(*dir, bncg.FleetShardsDir, *id)
 	}
-	var tracer *bncg.Tracer
-	if *tracePath != "" {
-		var err error
-		tracer, err = bncg.CreateTrace(*tracePath, *id)
+	if cf.variantSet() {
+		// The lease table is the authority on the grid — including its
+		// variant. -variant here is an assertion: refuse to join a fleet
+		// certifying a different game than the operator expects.
+		variant, err := cf.variant()
 		if err != nil {
 			return err
 		}
-		defer func() { _ = tracer.Close() }()
+		if t, err := bncg.LoadFleet(*dir); err == nil && t.Grid.Variant != variant.Key() {
+			want := t.Grid.Variant
+			if want == "" {
+				want = "the default variant"
+			}
+			return fmt.Errorf("worker: -variant %q does not match the fleet grid (%s)", variant.Key(), want)
+		}
 	}
-	st, err := bncg.OpenStore(*storeDir, bncg.StoreOptions{Trace: tracer})
+	tracer, closeTracer, err := cf.openTracer(*id)
+	if err != nil {
+		return err
+	}
+	defer closeTracer()
+	st, err := bncg.OpenStore(*cf.storeDir, bncg.StoreOptions{Trace: tracer})
 	if err != nil {
 		return err
 	}
 	defer st.Close()
-	var metrics *bncg.ComputeMetrics
-	if *metricsAddr != "" {
-		metrics = bncg.NewComputeMetrics()
-		// The worker's cache is private to RunFleetWorker, which binds its
-		// stats onto this registry itself; only the shard is visible here.
-		metrics.BindStoreStats(func() (int64, int64, int64, int) {
-			s := st.Stats()
-			return s.FlushedBytes, s.FlushFailures, s.DiskBytes, s.Pending
-		})
-		sidecar, err := bncg.StartMetricsSidecar(*metricsAddr, metrics.Registry, *pprofFlag)
-		if err != nil {
-			return err
-		}
-		defer sidecar.Close()
-		fmt.Fprintf(os.Stderr, "metrics: http://%s/metrics\n", sidecar.Addr())
-	} else if *pprofFlag {
-		return fmt.Errorf("worker: -pprof needs the -metrics-addr sidecar to serve it")
+	// The worker's cache is private to RunFleetWorker, which binds its
+	// stats onto this registry itself; only the shard is visible here.
+	metrics := cf.metrics()
+	bindStoreStats(metrics, st)
+	closeSidecar, err := cf.startSidecar("worker", metrics)
+	if err != nil {
+		return err
 	}
+	defer closeSidecar()
 	wopts := bncg.FleetWorkerOptions{
 		Dir:          *dir,
 		Owner:        *id,
 		Store:        st,
 		TTL:          *ttl,
 		Poll:         *poll,
-		SweepWorkers: *workers,
+		SweepWorkers: *cf.workers,
 		Trace:        tracer,
 		Metrics:      metrics,
 	}
@@ -1265,21 +1286,23 @@ func runFleetStatus(args []string, stdout io.Writer) error {
 	p := t.Progress()
 	if *asJSON {
 		out := struct {
-			N        int               `json:"n"`
-			Source   string            `json:"source"`
-			Classes  int               `json:"classes"`
-			Pending  int               `json:"pending"`
-			Leased   int               `json:"leased"`
-			Done     int               `json:"done"`
-			Reclaims int               `json:"reclaims"`
-			Ranges   []bncg.FleetRange `json:"ranges"`
-		}{t.Grid.N, t.Grid.Source, t.Classes, p.Pending, p.Leased, p.Done, p.Reclaims, t.Ranges}
+			SchemaVersion int               `json:"schema_version"`
+			N             int               `json:"n"`
+			Source        string            `json:"source"`
+			Variant       string            `json:"variant,omitempty"`
+			Classes       int               `json:"classes"`
+			Pending       int               `json:"pending"`
+			Leased        int               `json:"leased"`
+			Done          int               `json:"done"`
+			Reclaims      int               `json:"reclaims"`
+			Ranges        []bncg.FleetRange `json:"ranges"`
+		}{bncg.SchemaVersion, t.Grid.N, t.Grid.Source, t.Grid.Variant, t.Classes, p.Pending, p.Leased, p.Done, p.Reclaims, t.Ranges}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(out)
 	}
-	fmt.Fprintf(stdout, "fleet %s: n=%d source=%s, %d classes in %d ranges\n",
-		*dir, t.Grid.N, t.Grid.Source, t.Classes, len(t.Ranges))
+	fmt.Fprintf(stdout, "fleet %s: n=%d source=%s%s, %d classes in %d ranges\n",
+		*dir, t.Grid.N, t.Grid.Source, dumpVariant(t.Grid.Variant), t.Classes, len(t.Ranges))
 	fmt.Fprintf(stdout, "progress: %d done, %d leased, %d pending, %d reclaims\n",
 		p.Done, p.Leased, p.Pending, p.Reclaims)
 	now := time.Now()
@@ -1323,6 +1346,7 @@ func runTrace(args []string, stdout io.Writer) error {
 		return err
 	}
 	rep := bncg.AnalyzeTrace(tr, *topK)
+	rep.SchemaVersion = bncg.SchemaVersion
 	rep.Files = fs.NArg()
 	if *asJSON {
 		enc := json.NewEncoder(stdout)
@@ -1367,15 +1391,16 @@ func runPoA(ctx context.Context, args []string, stdout io.Writer) error {
 			witness = bncg.EncodeGraph(res.Witness)
 		}
 		out := struct {
-			N          int     `json:"n"`
-			Alpha      string  `json:"alpha"`
-			Concept    string  `json:"concept"`
-			Rho        float64 `json:"rho"`
-			Witness    string  `json:"witness,omitempty"`
-			Equilibria int     `json:"equilibria"`
-			Candidates int     `json:"candidates"`
-			Partial    bool    `json:"partial"`
-		}{*n, alpha.String(), c.String(), res.Rho, witness, res.Equilibria, res.Candidates, searchErr != nil}
+			SchemaVersion int     `json:"schema_version"`
+			N             int     `json:"n"`
+			Alpha         string  `json:"alpha"`
+			Concept       string  `json:"concept"`
+			Rho           float64 `json:"rho"`
+			Witness       string  `json:"witness,omitempty"`
+			Equilibria    int     `json:"equilibria"`
+			Candidates    int     `json:"candidates"`
+			Partial       bool    `json:"partial"`
+		}{bncg.SchemaVersion, *n, alpha.String(), c.String(), res.Rho, witness, res.Equilibria, res.Candidates, searchErr != nil}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(out); err != nil {

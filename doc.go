@@ -270,10 +270,49 @@
 //     table (pending/leased/done per range, owners, deadlines, reclaim
 //     counts) safe to run against a live fleet directory, with `-json`.
 //
+// # v9: one certificate engine, many games
+//
+// Every layer below assumed the paper's exact rules: bilateral consent,
+// SUM distances, one price for everyone. v9 turns those rules into data.
+// GameVariant is a value descriptor — consent mode
+// (ConsentBilateral/ConsentUnilateral), distance aggregate
+// (DistSum/DistMax), and per-agent price multipliers — whose zero value
+// is the paper's game, threaded through the whole stack:
+//
+//   - The equilibrium engine takes the variant on game.Game; eq.Check and
+//     eq.Certify evaluate deviations under the variant's consent rule,
+//     aggregate distances by SUM or eccentricity, and scale each agent's
+//     buy cost by its multiplier — certificates stay exact rationals
+//     (under DistMax, fractional critical prices like α = 1/3 are real;
+//     see EXPERIMENTS.md).
+//   - ParseVariant gives the descriptor one textual grammar —
+//     "unilateral", "max", "mul:AGENT=P/Q", comma-joined — used by the
+//     -variant flag on sweep/critical/serve/fleet/worker (one shared
+//     flag-set helper defines it once) and the ?variant= query parameter
+//     on /v1/check, /v1/critical and /v1/sweep; serve -variant sets the
+//     daemon's default, requests override per call.
+//   - The sweep cache and verdict store key records by variant. Non-default
+//     records persist as extended frames (codec version 2); legacy frames
+//     decode as the default variant, default-variant writes still emit
+//     byte-identical legacy frames, and cross-variant stores merge safely
+//     because the variant is part of every record identity.
+//   - internal/ncg's independently-written unilateral NCG, formerly only a
+//     differential-testing oracle, is now a shim over the unilateral
+//     variant — and the variant is the engine's own implementation, swept,
+//     certified, persisted and served like the paper's game.
+//
+// The compatibility contract is byte-exact and machine-enforced: at the
+// default variant every output — text reports, JSON modulo the new
+// schema_version/variant fields (SchemaVersion stamps every public JSON
+// payload), store frames, dumps — matches the pre-variant binary, pinned
+// by a golden differential harness in tier-1 and fuzzed at the codec and
+// engine layers.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the recorded reproduction results, the file format of the verdict
 // store, the NDJSON/JSON schemas of the serving endpoints, the
 // before/after numbers of the v4 kernel, the exact critical-α tables
-// of the v5 certificate engine, the n=7 fleet sweep recipe, and the
-// traced stage breakdowns of the v8 observability layer.
+// of the v5 certificate engine, the n=7 fleet sweep recipe, the traced
+// stage breakdowns of the v8 observability layer, and the v9 unilateral
+// and MAX-distance editions of Table 1.
 package bncg

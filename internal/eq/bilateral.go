@@ -56,6 +56,27 @@ func CheckBAE(gm game.Game, g *graph.Graph) Result {
 }
 
 func (c *checker) checkBAE() Result {
+	if c.unilateral {
+		// Unilateral consent: any agent may buy any absent edge on her
+		// own, so the scan is over ordered (buyer, target) pairs and only
+		// the buyer must improve. The enumeration order is exactly the
+		// historical CheckUnilateralAE scan, keeping witnesses
+		// byte-identical through the shim.
+		for u := 0; u < c.g.N(); u++ {
+			for v := 0; v < c.g.N(); v++ {
+				if v == u || c.g.HasEdge(u, v) {
+					continue
+				}
+				c.g.AddEdge(u, v)
+				imp := c.improves(u)
+				c.g.RemoveEdge(u, v)
+				if imp {
+					return unstable(move.Add{U: u, V: v})
+				}
+			}
+		}
+		return stable()
+	}
 	for u := 0; u < c.g.N(); u++ {
 		for v := u + 1; v < c.g.N(); v++ {
 			if c.g.HasEdge(u, v) {
@@ -105,7 +126,9 @@ func (c *checker) checkBSwE() Result {
 				}
 				c.g.RemoveEdge(u, v)
 				c.g.AddEdge(u, w)
-				imp := c.improves(u) && c.improves(w)
+				// Bilateral: the new partner w must consent by strictly
+				// improving; unilateral: only the swapper u must.
+				imp := c.improves(u) && (c.unilateral || c.improves(w))
 				c.g.RemoveEdge(u, w)
 				c.g.AddEdge(u, v)
 				if imp {
@@ -183,7 +206,8 @@ func (c *checker) searchNeighborhood(u int, neighbors, nonNeighbors []int) (move
 				}
 			}
 			imp := c.improves(u)
-			if imp {
+			if imp && !c.unilateral {
+				// Bilateral consent: every new partner must improve too.
 				for i, w := range nonNeighbors {
 					if aMask&(1<<i) != 0 && !c.improves(w) {
 						imp = false

@@ -123,9 +123,19 @@ func improvingIntervalOf(before, after game.Cost) (AlphaInterval, bool) {
 }
 
 // improvingInterval returns agent u's improving interval in the current
-// (mutated) graph against the bound baseline.
+// (mutated) graph against the bound baseline. With a price multiplier p/q
+// on agent u the improving condition α·(p/q)·ΔBuy + ΔDist < 0 clears
+// denominators as α·(p·ΔBuy) + (q·ΔDist) < 0, so scaling both costs'
+// (Buy, Dist) by (p, q) reduces the heterogeneous case to the uniform
+// interval computation with the breakpoints still exact in the global α.
 func (c *checker) improvingInterval(u int) (AlphaInterval, bool) {
-	return improvingIntervalOf(c.base[u], c.cost(u))
+	before, after := c.base[u], c.cost(u)
+	if c.hetero {
+		p, q := c.pmul[u], c.qmul[u]
+		before = game.Cost{Unreachable: before.Unreachable, Buy: before.Buy * p, Dist: before.Dist * q}
+		after = game.Cost{Unreachable: after.Unreachable, Buy: after.Buy * p, Dist: after.Dist * q}
+	}
+	return improvingIntervalOf(before, after)
 }
 
 // The deviation accumulation protocol of the certificate scans — a
@@ -210,8 +220,27 @@ func (c *checker) certRE() {
 	}
 }
 
-// certBAE scans the bilateral single-edge additions.
+// certBAE scans the single-edge additions: bilateral pairs with both
+// endpoints as actors, or — under unilateral consent — ordered
+// (buyer, target) pairs with the buyer as sole actor, mirroring the
+// per-α scan deviation for deviation.
 func (c *checker) certBAE() {
+	if c.unilateral {
+		for u := 0; u < c.g.N() && !c.covered; u++ {
+			for v := 0; v < c.g.N(); v++ {
+				if v == u || c.g.HasEdge(u, v) {
+					continue
+				}
+				c.g.AddEdge(u, v)
+				done := c.accumulate1(u)
+				c.g.RemoveEdge(u, v)
+				if done {
+					return
+				}
+			}
+		}
+		return
+	}
 	for u := 0; u < c.g.N() && !c.covered; u++ {
 		for v := u + 1; v < c.g.N(); v++ {
 			if c.g.HasEdge(u, v) {
@@ -238,7 +267,12 @@ func (c *checker) certBSwE() {
 				}
 				c.g.RemoveEdge(u, v)
 				c.g.AddEdge(u, w)
-				done := c.accumulate2(u, w)
+				var done bool
+				if c.unilateral {
+					done = c.accumulate1(u)
+				} else {
+					done = c.accumulate2(u, w)
+				}
 				c.g.RemoveEdge(u, w)
 				c.g.AddEdge(u, v)
 				if done {
@@ -278,7 +312,9 @@ func (c *checker) certBNE() {
 					}
 				}
 				c.devBegin()
-				if c.devActor(u) {
+				if c.devActor(u) && !c.unilateral {
+					// Bilateral consent: intersect every new partner's
+					// improving interval too.
 					for i, w := range nn {
 						if aMask&(1<<i) != 0 && !c.devActor(w) {
 							break

@@ -191,6 +191,16 @@ type checker struct {
 	covered  bool
 	devIval  AlphaInterval
 	devAlive bool
+	// Variant state, latched at reset so the hot loops branch on plain
+	// booleans: unilateral consent switches the add/swap/neighborhood
+	// scans to initiator-only improvement; hetero switches cost
+	// comparisons to per-agent effective prices (aFor) and certificate
+	// intervals to multiplier-scaled deltas (pmul/qmul).
+	unilateral bool
+	hetero     bool
+	aFor       []game.Alpha
+	pmul       []int64
+	qmul       []int64
 }
 
 // reset points the checker at a new state and recomputes the baseline agent
@@ -205,6 +215,22 @@ func (c *checker) reset(gm game.Game, g *graph.Graph) {
 	}
 	c.base = c.base[:n]
 	c.dist = c.dist[:n]
+	c.unilateral = gm.Variant.Consent == game.ConsentUnilateral
+	c.hetero = len(gm.Variant.Prices) > 0
+	if c.hetero {
+		if cap(c.aFor) < n {
+			c.aFor = make([]game.Alpha, n)
+			c.pmul = make([]int64, n)
+			c.qmul = make([]int64, n)
+		}
+		c.aFor = c.aFor[:n]
+		c.pmul = c.pmul[:n]
+		c.qmul = c.qmul[:n]
+		for u := 0; u < n; u++ {
+			c.aFor[u] = gm.AlphaFor(u)
+			c.pmul[u], c.qmul[u] = gm.Variant.MulFor(u)
+		}
+	}
 	for u := 0; u < n; u++ {
 		g.BFSScratchInto(u, c.dist, &c.bfs)
 		c.base[u] = gm.AgentCostFromDist(g, u, c.dist)
@@ -252,9 +278,13 @@ func (c *checker) cost(u int) game.Cost {
 }
 
 // improves reports whether agent u's current cost is strictly below her
-// baseline cost.
+// baseline cost, at u's effective edge price.
 func (c *checker) improves(u int) bool {
-	return c.cost(u).Less(c.base[u], c.gm.Alpha)
+	a := c.gm.Alpha
+	if c.hetero {
+		a = c.aFor[u]
+	}
+	return c.cost(u).Less(c.base[u], a)
 }
 
 // allImprove reports whether every listed agent strictly improves over the

@@ -33,23 +33,15 @@ func CheckUnilateralRE(gm game.Game, g *graph.Graph, o *game.Ownership) Result {
 // CheckUnilateralAE reports whether g is an Add Equilibrium of the
 // unilateral NCG: no agent strictly improves by buying a single new edge on
 // her own. Ownership is irrelevant: the buyer pays α regardless.
+//
+// It is a shim over the variant engine: the scan is exactly the BAE check
+// under unilateral consent, and the differential tests pin that the shim
+// is byte-identical to the historical direct implementation.
 func CheckUnilateralAE(gm game.Game, g *graph.Graph) Result {
+	gm.Variant.Consent = game.ConsentUnilateral
 	var c checker
 	c.reset(gm, g)
-	for u := 0; u < g.N(); u++ {
-		for v := 0; v < g.N(); v++ {
-			if v == u || g.HasEdge(u, v) {
-				continue
-			}
-			g.AddEdge(u, v)
-			improves := c.improves(u)
-			g.RemoveEdge(u, v)
-			if improves {
-				return unstable(move.Add{U: u, V: v})
-			}
-		}
-	}
-	return stable()
+	return c.checkBAE()
 }
 
 // NCGStrategyChange is the witness of a unilateral NE violation: agent U

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/sweep"
 )
 
 // Scale selects how much work a runner does.
@@ -30,12 +32,15 @@ type Check struct {
 	Detail string
 }
 
-// Report is the outcome of one experiment.
+// Report is the outcome of one experiment. SchemaVersion stamps the JSON
+// form with the public payload generation (the legacy fields keep their
+// historical capitalized keys).
 type Report struct {
-	ID     string
-	Title  string
-	Lines  []string
-	Checks []Check
+	SchemaVersion int `json:"schema_version"`
+	ID            string
+	Title         string
+	Lines         []string
+	Checks        []Check
 }
 
 func (r *Report) addLinef(format string, args ...any) {
@@ -95,17 +100,19 @@ func (r *Report) MarshalJSON() ([]byte, error) {
 		Detail string `json:"detail"`
 	}
 	out := struct {
-		ID      string      `json:"id"`
-		Title   string      `json:"title"`
-		Lines   []string    `json:"lines"`
-		Checks  []checkJSON `json:"checks"`
-		AllPass bool        `json:"all_pass"`
+		SchemaVersion int         `json:"schema_version"`
+		ID            string      `json:"id"`
+		Title         string      `json:"title"`
+		Lines         []string    `json:"lines"`
+		Checks        []checkJSON `json:"checks"`
+		AllPass       bool        `json:"all_pass"`
 	}{
-		ID:      r.ID,
-		Title:   r.Title,
-		Lines:   r.Lines,
-		Checks:  make([]checkJSON, len(r.Checks)),
-		AllPass: r.AllPass(),
+		SchemaVersion: r.SchemaVersion,
+		ID:            r.ID,
+		Title:         r.Title,
+		Lines:         r.Lines,
+		Checks:        make([]checkJSON, len(r.Checks)),
+		AllPass:       r.AllPass(),
 	}
 	if out.Lines == nil {
 		out.Lines = []string{}
@@ -154,5 +161,8 @@ func Run(ctx context.Context, id string, s Scale) (*Report, error) {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
 	}
 	rep := r(ctx, s)
+	if rep != nil {
+		rep.SchemaVersion = sweep.SchemaVersion
+	}
 	return rep, ctx.Err()
 }

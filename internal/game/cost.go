@@ -47,13 +47,16 @@ func (c Cost) String() string {
 	return fmt.Sprintf("{buy:%d dist:%d}", c.Buy, c.Dist)
 }
 
-// Game couples a node count with an edge price. The created graph is the
-// state; in the BNCG the graph and the strategy vector are in bijection
-// (each agent's strategy is exactly her neighborhood), so all BNCG costs are
-// functions of the graph alone.
+// Game couples a node count with an edge price and a model variant. The
+// created graph is the state; in the BNCG the graph and the strategy vector
+// are in bijection (each agent's strategy is exactly her neighborhood), so
+// all BNCG costs are functions of the graph alone. The zero Variant is the
+// paper's exact model, so Game{N, Alpha} literals keep their historical
+// meaning.
 type Game struct {
-	N     int
-	Alpha Alpha
+	N       int
+	Alpha   Alpha
+	Variant Variant
 }
 
 // NewGame returns the BNCG on n agents with edge price alpha. It reports an
@@ -66,8 +69,14 @@ func NewGame(n int, alpha Alpha) (Game, error) {
 }
 
 // AgentCost returns agent u's cost in state g (BNCG equilibrium form: the
-// agent pays for each incident edge).
+// agent pays for each incident edge). Under DistMax the distance term is
+// u's eccentricity instead of her distance sum.
 func (gm Game) AgentCost(g *graph.Graph, u int) Cost {
+	if gm.Variant.Dist == DistMax {
+		dist := make([]int, g.N())
+		g.BFSInto(u, dist)
+		return gm.AgentCostFromDist(g, u, dist)
+	}
 	sum, unreachable := g.TotalDist(u)
 	return Cost{
 		Unreachable: int64(unreachable),
@@ -77,20 +86,34 @@ func (gm Game) AgentCost(g *graph.Graph, u int) Cost {
 }
 
 // AgentCostFromDist builds agent u's cost from a precomputed BFS distance
-// slice, avoiding a second traversal in move-evaluation hot loops.
+// slice, avoiding a second traversal in move-evaluation hot loops. The
+// distance aggregate follows the game's variant: sum of finite distances
+// by default, maximum finite distance (eccentricity) under DistMax.
 func (gm Game) AgentCostFromDist(g *graph.Graph, u int, dist []int) Cost {
 	var (
-		sum         int64
+		agg         int64
 		unreachable int64
 	)
-	for _, d := range dist {
-		if d == graph.Unreachable {
-			unreachable++
-			continue
+	if gm.Variant.Dist == DistMax {
+		for _, d := range dist {
+			if d == graph.Unreachable {
+				unreachable++
+				continue
+			}
+			if int64(d) > agg {
+				agg = int64(d)
+			}
 		}
-		sum += int64(d)
+	} else {
+		for _, d := range dist {
+			if d == graph.Unreachable {
+				unreachable++
+				continue
+			}
+			agg += int64(d)
+		}
 	}
-	return Cost{Unreachable: unreachable, Buy: int64(g.Degree(u)), Dist: sum}
+	return Cost{Unreachable: unreachable, Buy: int64(g.Degree(u)), Dist: agg}
 }
 
 // SocialCost returns the sum of all agent costs: total buying cost
@@ -111,7 +134,15 @@ func (gm Game) SocialCost(g *graph.Graph) Cost {
 // for α < 1 the clique with cost n(n-1)(1+α); for α >= 1 the star with cost
 // 2(n-1)(α+n-1). Both are returned in exact Cost form (Buy counts edge
 // endpoints, i.e. 2m).
+//
+// The closed forms are specific to the paper's exact model; OptCost panics
+// for non-default variants rather than report a wrong optimum. The sweep,
+// server and CLI layers reject ρ/PoA requests for non-default variants
+// before reaching it.
 func (gm Game) OptCost() Cost {
+	if !gm.Variant.IsDefault() {
+		panic("game: OptCost is defined for the default variant only")
+	}
 	n := int64(gm.N)
 	if n == 1 {
 		return Cost{}

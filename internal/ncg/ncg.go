@@ -8,6 +8,17 @@
 // the unilateral game, enabling the paper's motivating comparison: the
 // bilateral game with Pairwise Stability is socially worse than the
 // unilateral game with NE.
+//
+// Since the GameVariant redesign the graph-level (ownership-free) checks
+// are shims over the variant engine: eq.Check with
+// game.Variant{Consent: game.ConsentUnilateral} evaluates — and
+// eq.Certify parametrically certifies — the unilateral game with the same
+// scans, so sweeps, stores and the serving daemon handle it like any
+// other variant (pass `-variant unilateral`). UnilateralVariant returns
+// that descriptor. Only the ownership-resolved checks (who pays for an
+// existing edge) remain NCG-specific; the differential tests pin that the
+// rerouted entry points are byte-identical to the historical direct
+// implementations.
 package ncg
 
 import (
@@ -78,9 +89,24 @@ func ExistsNEOwnership(gm game.Game, g *graph.Graph) (*game.Ownership, bool) {
 	return found, found != nil
 }
 
+// UnilateralVariant returns the variant descriptor of the unilateral NCG
+// in equilibrium form: every concept of the certificate engine evaluated
+// with initiator-only consent. eq.Check/Certify with this variant is the
+// swept, persisted and served form of this package's game.
+func UnilateralVariant() game.Variant {
+	v, err := game.ParseVariant("unilateral")
+	if err != nil {
+		panic(err) // unreachable: the canonical descriptor always parses
+	}
+	return v
+}
+
 // CheckGE reports whether (g, o) is a Greedy Equilibrium (Lenzner): no
 // agent improves by unilaterally adding one edge, deleting one owned edge,
-// or swapping one owned edge for another incident edge.
+// or swapping one owned edge for another incident edge. The add scan
+// routes through the variant engine (eq.CheckUnilateralAE is a shim over
+// the unilateral-consent BAE check); the remove and swap scans need the
+// ownership and stay NCG-specific.
 func CheckGE(gm game.Game, g *graph.Graph, o *game.Ownership) eq.Result {
 	if r := eq.CheckUnilateralRE(gm, g, o); !r.Stable {
 		return r

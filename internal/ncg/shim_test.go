@@ -1,0 +1,151 @@
+package ncg
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/eq"
+	"repro/internal/game"
+	"repro/internal/graph"
+	"repro/internal/move"
+)
+
+// This file is the differential harness of the variant-engine shim: the
+// reference functions below preserve the historical direct
+// implementations of the rerouted entry points, written against the plain
+// cost API so they share no code with the engine, and the tests pin that
+// the shimmed entry points return byte-identical results — same verdicts,
+// same witness moves, in the same scan order — across every small
+// connected class, ownership and α.
+
+// referenceAE is the historical CheckUnilateralAE: ordered (buyer,
+// target) scan, buyer-only improvement against baseline costs.
+func referenceAE(gm game.Game, g *graph.Graph) eq.Result {
+	n := g.N()
+	base := make([]game.Cost, n)
+	for u := 0; u < n; u++ {
+		base[u] = gm.AgentCost(g, u)
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if v == u || g.HasEdge(u, v) {
+				continue
+			}
+			g.AddEdge(u, v)
+			after := gm.AgentCost(g, u)
+			g.RemoveEdge(u, v)
+			if after.Less(base[u], gm.Alpha) {
+				return eq.Result{Stable: false, Witness: move.Add{U: u, V: v}}
+			}
+		}
+	}
+	return eq.Result{Stable: true}
+}
+
+// referenceGE is the historical CheckGE composition: ownership RE, then
+// the direct add scan, then the ownership swap scan.
+func referenceGE(gm game.Game, g *graph.Graph, o *game.Ownership) eq.Result {
+	if r := eq.CheckUnilateralRE(gm, g, o); !r.Stable {
+		return r
+	}
+	if r := referenceAE(gm, g); !r.Stable {
+		return r
+	}
+	return referenceSwap(gm, g, o)
+}
+
+// referenceSwap preserves checkUnilateralSwap's historical scan.
+func referenceSwap(gm game.Game, g *graph.Graph, o *game.Ownership) eq.Result {
+	for _, e := range g.Edges() {
+		owner, ok := o.Owner(e.U, e.V)
+		if !ok {
+			panic(fmt.Sprintf("ncg: edge %v without owner", e))
+		}
+		old := e.Other(owner)
+		before := gm.NCGAgentCost(g, o, owner)
+		for w := 0; w < g.N(); w++ {
+			if w == owner || w == old || g.HasEdge(owner, w) {
+				continue
+			}
+			g.RemoveEdge(owner, old)
+			g.AddEdge(owner, w)
+			o.Delete(owner, old)
+			o.SetOwner(owner, w, owner)
+			after := gm.NCGAgentCost(g, o, owner)
+			o.Delete(owner, w)
+			o.SetOwner(owner, old, owner)
+			g.RemoveEdge(owner, w)
+			g.AddEdge(owner, old)
+			if after.Less(before, gm.Alpha) {
+				return eq.Result{Stable: false, Witness: swapWitness{owner: owner, old: old, new_: w}}
+			}
+		}
+	}
+	return eq.Result{Stable: true}
+}
+
+var shimAlphas = []game.Alpha{game.AFrac(1, 2), game.A(1), game.AFrac(3, 2), game.A(2), game.A(4)}
+
+// TestCheckGEByteIdenticalToReference runs the full CheckGE differential:
+// every connected class up to n=5, every ownership for n ≤ 4 (all 2^m of
+// them) and the canonical ownership for n=5, across the α grid.
+func TestCheckGEByteIdenticalToReference(t *testing.T) {
+	for n := 2; n <= 5; n++ {
+		for g := range graph.All(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}) {
+			for _, alpha := range shimAlphas {
+				gm, err := game.NewGame(n, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checked := 0
+				game.AllOwnerships(g, func(o *game.Ownership) {
+					if n == 5 && checked > 0 {
+						return // n=5: one ownership per class keeps the run fast
+					}
+					checked++
+					want := referenceGE(gm, g.Clone(), o.Clone())
+					got := CheckGE(gm, g.Clone(), o.Clone())
+					if !reflect.DeepEqual(got, want) {
+						t.Fatalf("n=%d α=%s on %s: CheckGE %+v != reference %+v", n, alpha, g, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestUnilateralVariantCertifiesGraphChecks pins the promotion: for the
+// ownership-free unilateral game, the variant engine's BAE check equals
+// the historical add-equilibrium scan, and its parametric certificate
+// agrees with that scan at every probed α — the unilateral NCG is now a
+// first-class certified game.
+func TestUnilateralVariantCertifiesGraphChecks(t *testing.T) {
+	variant := UnilateralVariant()
+	for n := 2; n <= 5; n++ {
+		for g := range graph.All(n, graph.EnumOptions{ConnectedOnly: true, UpToIso: true, MaxEdges: -1}) {
+			gmV, err := game.NewGame(n, game.A(1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			gmV.Variant = variant
+			set := eq.Certify(gmV, g.Clone(), eq.BAE)
+			for _, alpha := range shimAlphas {
+				gm, err := game.NewGame(n, alpha)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := referenceAE(gm, g.Clone())
+				gm.Variant = variant
+				got := eq.Check(gm, g.Clone(), eq.BAE)
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("n=%d α=%s on %s: variant BAE %+v != reference AE %+v", n, alpha, g, got, want)
+				}
+				if set.Contains(alpha) != want.Stable {
+					t.Fatalf("n=%d α=%s on %s: certificate %s disagrees with reference AE %v",
+						n, alpha, g, set, want.Stable)
+				}
+			}
+		}
+	}
+}

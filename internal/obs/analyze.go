@@ -200,17 +200,21 @@ type Lane struct {
 
 // Report is the analyzer output behind `bncg trace`.
 type Report struct {
-	Files    int         `json:"files"`
-	Sources  []string    `json:"sources"`
-	Spans    int         `json:"spans"`
-	Events   int         `json:"events"`
-	StartUS  int64       `json:"start_us"`
-	EndUS    int64       `json:"end_us"`
-	WallUS   int64       `json:"wall_us"`
-	Stages   []StageStat `json:"stages"`
-	Slowest  []ClassStat `json:"slowest_classes,omitempty"`
-	Lanes    []Lane      `json:"lanes"`
-	Coverage float64     `json:"coverage"`
+	// SchemaVersion is the public JSON payload generation stamp; the
+	// caller (bncg trace) sets it — obs cannot import the canonical
+	// constant without inverting the dependency on sweep.
+	SchemaVersion int         `json:"schema_version"`
+	Files         int         `json:"files"`
+	Sources       []string    `json:"sources"`
+	Spans         int         `json:"spans"`
+	Events        int         `json:"events"`
+	StartUS       int64       `json:"start_us"`
+	EndUS         int64       `json:"end_us"`
+	WallUS        int64       `json:"wall_us"`
+	Stages        []StageStat `json:"stages"`
+	Slowest       []ClassStat `json:"slowest_classes,omitempty"`
+	Lanes         []Lane      `json:"lanes"`
+	Coverage      float64     `json:"coverage"`
 }
 
 func attrInt(a Attrs, key string) (int64, bool) {

@@ -120,6 +120,11 @@ type Config struct {
 	// (bncg serve -pprof). Profiling endpoints go through admission
 	// control like any other non-observability route.
 	EnablePprof bool
+
+	// DefaultVariant is the game variant served when a request carries no
+	// "variant" query parameter (bncg serve -variant). The zero value is
+	// the paper's default model; requests override it per call.
+	DefaultVariant game.Variant
 }
 
 func (c Config) withDefaults() Config {
@@ -370,19 +375,38 @@ func boolParam(r *http.Request, name string) bool {
 	return false
 }
 
+// parseVariant reads the optional "variant" query parameter shared by
+// /v1/sweep, /v1/critical and /v1/check. An absent or empty parameter
+// selects the daemon's configured default (the paper's model unless
+// `serve -variant` says otherwise), so pre-variant request URLs keep
+// their exact meaning on a default daemon.
+func (s *Server) parseVariant(r *http.Request) (game.Variant, error) {
+	q := r.URL.Query().Get("variant")
+	if q == "" {
+		return s.cfg.DefaultVariant, nil
+	}
+	v, err := game.ParseVariant(q)
+	if err != nil {
+		return game.Variant{}, badRequest("%v", err)
+	}
+	return v, nil
+}
+
 // ---- /v1/sweep ----
 
 // The NDJSON line schemas of /v1/sweep. Every line carries "type"; graphs
 // are encoded in the plain edge-list format on the items of the first α
 // row (alpha_index 0), where each isomorphism class appears first.
 type sweepHeader struct {
-	Type     string   `json:"type"` // "header"
-	N        int      `json:"n"`
-	Source   string   `json:"source"`
-	Alphas   []string `json:"alphas"`
-	Concepts []string `json:"concepts"`
-	Rho      bool     `json:"with_rho,omitempty"`
-	Shared   bool     `json:"shared,omitempty"` // joined an in-flight computation
+	Type          string   `json:"type"` // "header"
+	SchemaVersion int      `json:"schema_version"`
+	N             int      `json:"n"`
+	Source        string   `json:"source"`
+	Variant       string   `json:"variant,omitempty"`
+	Alphas        []string `json:"alphas"`
+	Concepts      []string `json:"concepts"`
+	Rho           bool     `json:"with_rho,omitempty"`
+	Shared        bool     `json:"shared,omitempty"` // joined an in-flight computation
 }
 
 type sweepItemLine struct {
@@ -422,13 +446,27 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	variant, err := s.parseVariant(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := variant.Validate(n); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
 	opts := sweep.Options{
 		N:        n,
 		Alphas:   alphas,
 		Concepts: concepts,
+		Variant:  variant,
 		Workers:  s.cfg.Workers,
 		Cache:    s.cfg.Cache,
 		Rho:      boolParam(r, "rho"),
+	}
+	if opts.Rho && !variant.IsDefault() {
+		writeError(w, badRequest("rho is defined for the default variant only"))
+		return
 	}
 	if trees {
 		opts.Source = sweep.Trees
@@ -457,13 +495,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 
 	header := sweepHeader{
-		Type:     "header",
-		N:        n,
-		Source:   opts.Source.String(),
-		Alphas:   alphaStrings(alphas),
-		Concepts: conceptStrings(concepts),
-		Rho:      opts.Rho,
-		Shared:   joined,
+		Type:          "header",
+		SchemaVersion: sweep.SchemaVersion,
+		N:             n,
+		Source:        opts.Source.String(),
+		Variant:       variant.Key(),
+		Alphas:        alphaStrings(alphas),
+		Concepts:      conceptStrings(concepts),
+		Rho:           opts.Rho,
+		Shared:        joined,
 	}
 	if enc.Encode(header) != nil {
 		return
@@ -511,11 +551,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 }
 
 // sweepKey normalizes a sweep request for singleflight deduplication. The
-// exact reduced α strings and concept names make syntactically different
-// but semantically equal grids ("2/4" vs "1/2") share one flight.
+// exact reduced α strings, concept names and the canonical variant
+// descriptor make syntactically different but semantically equal grids
+// ("2/4" vs "1/2", "max,unilateral" vs "unilateral,max") share one flight.
 func sweepKey(opts sweep.Options) string {
-	return fmt.Sprintf("n=%d src=%s rho=%t a=%s c=%s",
-		opts.N, opts.Source, opts.Rho,
+	return fmt.Sprintf("n=%d src=%s v=%s rho=%t a=%s c=%s",
+		opts.N, opts.Source, opts.Variant.Key(), opts.Rho,
 		strings.Join(alphaStrings(opts.Alphas), ","),
 		strings.Join(conceptStrings(opts.Concepts), ","))
 }
@@ -539,15 +580,16 @@ func conceptStrings(concepts []eq.Concept) []string {
 // ---- /v1/poa ----
 
 type poaResponse struct {
-	N          int     `json:"n"`
-	Alpha      string  `json:"alpha"`
-	Concept    string  `json:"concept"`
-	Rho        float64 `json:"rho"`
-	Witness    string  `json:"witness,omitempty"`
-	Equilibria int     `json:"equilibria"`
-	Candidates int     `json:"candidates"`
-	Partial    bool    `json:"partial"`
-	Shared     bool    `json:"shared,omitempty"`
+	SchemaVersion int     `json:"schema_version"`
+	N             int     `json:"n"`
+	Alpha         string  `json:"alpha"`
+	Concept       string  `json:"concept"`
+	Rho           float64 `json:"rho"`
+	Witness       string  `json:"witness,omitempty"`
+	Equilibria    int     `json:"equilibria"`
+	Candidates    int     `json:"candidates"`
+	Partial       bool    `json:"partial"`
+	Shared        bool    `json:"shared,omitempty"`
 }
 
 func (s *Server) handlePoA(w http.ResponseWriter, r *http.Request) {
@@ -555,6 +597,15 @@ func (s *Server) handlePoA(w http.ResponseWriter, r *http.Request) {
 	n, err := s.parseN(r, !graphs)
 	if err != nil {
 		writeError(w, err)
+		return
+	}
+	if variant, err := s.parseVariant(r); err != nil {
+		writeError(w, err)
+		return
+	} else if !variant.IsDefault() {
+		// PoA normalizes by OptCost, whose closed forms are specific to the
+		// default model.
+		writeError(w, badRequest("poa is defined for the default variant only"))
 		return
 	}
 	alpha, err := game.ParseAlpha(r.URL.Query().Get("alpha"))
@@ -582,14 +633,15 @@ func (s *Server) handlePoA(w http.ResponseWriter, r *http.Request) {
 	}
 	res := val.(core.PoAResult)
 	resp := poaResponse{
-		N:          n,
-		Alpha:      alpha.String(),
-		Concept:    concept.String(),
-		Rho:        res.Rho,
-		Equilibria: res.Equilibria,
-		Candidates: res.Candidates,
-		Partial:    runErr != nil,
-		Shared:     shared,
+		SchemaVersion: sweep.SchemaVersion,
+		N:             n,
+		Alpha:         alpha.String(),
+		Concept:       concept.String(),
+		Rho:           res.Rho,
+		Equilibria:    res.Equilibria,
+		Candidates:    res.Candidates,
+		Partial:       runErr != nil,
+		Shared:        shared,
 	}
 	if res.Witness != nil {
 		resp.Witness = graph.Encode(res.Witness)
@@ -602,12 +654,14 @@ func (s *Server) handlePoA(w http.ResponseWriter, r *http.Request) {
 // criticalResponse rides sweep.ConceptCritical's own MarshalJSON, so the
 // HTTP schema and the CLI/sweep JSON schemas cannot drift apart.
 type criticalResponse struct {
-	N        int                     `json:"n"`
-	Source   string                  `json:"source"`
-	Classes  int                     `json:"classes"`
-	Critical []sweep.ConceptCritical `json:"critical"`
-	Report   string                  `json:"report"`
-	Shared   bool                    `json:"shared,omitempty"`
+	SchemaVersion int                     `json:"schema_version"`
+	N             int                     `json:"n"`
+	Source        string                  `json:"source"`
+	Variant       string                  `json:"variant,omitempty"`
+	Classes       int                     `json:"classes"`
+	Critical      []sweep.ConceptCritical `json:"critical"`
+	Report        string                  `json:"report"`
+	Shared        bool                    `json:"shared,omitempty"`
 }
 
 func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
@@ -622,12 +676,22 @@ func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
+	variant, err := s.parseVariant(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := variant.Validate(n); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
 	opts := sweep.Options{
 		N: n,
 		// The grid is irrelevant to certificates; one α satisfies the
 		// engine's options contract without costing anything.
 		Alphas:   []game.Alpha{game.A(1)},
 		Concepts: concepts,
+		Variant:  variant,
 		Workers:  s.cfg.Workers,
 		Cache:    s.cfg.Cache,
 	}
@@ -647,12 +711,14 @@ func (s *Server) handleCritical(w http.ResponseWriter, r *http.Request) {
 	}
 	res := val.(*sweep.Result)
 	writeJSON(w, criticalResponse{
-		N:        n,
-		Source:   opts.Source.String(),
-		Classes:  res.Graphs,
-		Critical: res.Critical,
-		Report:   res.CriticalReport(),
-		Shared:   shared,
+		SchemaVersion: sweep.SchemaVersion,
+		N:             n,
+		Source:        opts.Source.String(),
+		Variant:       variant.Key(),
+		Classes:       res.Graphs,
+		Critical:      res.Critical,
+		Report:        res.CriticalReport(),
+		Shared:        shared,
 	})
 }
 
@@ -666,9 +732,11 @@ type checkVerdict struct {
 }
 
 type checkResponse struct {
-	N       int            `json:"n"`
-	Alpha   string         `json:"alpha"`
-	Results []checkVerdict `json:"results"`
+	SchemaVersion int            `json:"schema_version"`
+	N             int            `json:"n"`
+	Alpha         string         `json:"alpha"`
+	Variant       string         `json:"variant,omitempty"`
+	Results       []checkVerdict `json:"results"`
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
@@ -690,6 +758,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		}
 		concepts = []eq.Concept{c}
 	}
+	variant, err := s.parseVariant(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	wantWitness := boolParam(r, "witness")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err != nil {
@@ -710,20 +783,26 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, badRequest("%v", err))
 		return
 	}
+	if err := variant.Validate(g.N()); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	gm.Variant = variant
+	vkey := variant.Key()
 	// One canonical key serves every concept; uploaded graphs use
 	// CanonicalKey (tree sweeps cache under FreeTreeKey, a disjoint
 	// alphabet, so tree-sweep verdicts are recomputed here — soundly).
 	canon := g.CanonicalKey()
-	resp := checkResponse{N: g.N(), Alpha: alpha.String()}
+	resp := checkResponse{SchemaVersion: sweep.SchemaVersion, N: g.N(), Alpha: alpha.String(), Variant: vkey}
 	ev := eq.NewEvaluator()
 	for _, concept := range concepts {
 		if ctx.Err() != nil {
 			writeError(w, ctx.Err())
 			return
 		}
-		key := sweep.Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den(), Concept: concept}
+		key := sweep.Key{Canon: canon, Num: alpha.Num(), Den: alpha.Den(), Concept: concept, Variant: vkey}
 		v := checkVerdict{Concept: concept.String()}
-		if set, ok := s.cfg.Cache.GetCert(canon, concept); ok && !(wantWitness && !set.Contains(alpha)) {
+		if set, ok := s.cfg.Cache.GetCert(sweep.CertKey{Canon: canon, Concept: concept, Variant: vkey}); ok && !(wantWitness && !set.Contains(alpha)) {
 			// A parametric certificate answers any α, including prices no
 			// sweep ever put on a grid. GetCert is uncounted; credit the
 			// hit here so certificate-only traffic moves the hit ratio.
@@ -751,6 +830,7 @@ type healthz struct {
 	// Status is "ok", or "degraded" when the store has failed flushes —
 	// the daemon keeps serving from memory but new verdicts may not be
 	// durable.
+	SchemaVersion int              `json:"schema_version"`
 	Status        string           `json:"status"`
 	Role          string           `json:"role"` // "writer" or "replica"
 	UptimeSeconds int64            `json:"uptime_seconds"`
@@ -771,6 +851,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		role = "replica"
 	}
 	h := healthz{
+		SchemaVersion: sweep.SchemaVersion,
 		Status:        "ok",
 		Role:          role,
 		UptimeSeconds: int64(time.Since(s.started).Seconds()),

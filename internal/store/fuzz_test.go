@@ -92,6 +92,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	f.Add(encodeCertFrame(CertRecord{Canon: "x", Concept: 3, Intervals: []Interval{
 		{LoNum: 0, LoDen: 1, HiNum: 1, HiDen: 1, HiOpen: true},
 	}}))
+	f.Add(encodeFrame(Record{Canon: "x", Num: 1, Den: 2, Concept: 3, Variant: "unilateral", Stable: true}))
+	f.Add(encodeCertFrame(CertRecord{Canon: "x", Concept: 3, Variant: "max", Intervals: []Interval{
+		{LoNum: 0, LoDen: 1, HiNum: 1, HiDen: 1, HiOpen: true},
+	}}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		n, fr, ok := decodeFrame(data)
 		if !ok {

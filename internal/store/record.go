@@ -7,30 +7,40 @@ import (
 
 // Record is one persisted stability verdict: the canonical form of the
 // graph, the exact reduced edge price num/den, the solution concept (as
-// its small positive enum value), and the verdict bit. The store is
-// deliberately decoupled from package eq — Concept is an opaque uint8
-// here, mapped back by the sweep-cache bridge.
+// its small positive enum value), the game variant (as its canonical
+// descriptor string, empty for the paper's default model), and the
+// verdict bit. The store is deliberately decoupled from package eq and
+// game — Concept is an opaque uint8 and Variant an opaque canonical
+// token here, mapped back by the sweep-cache bridge.
 type Record struct {
 	Canon    string
 	Num, Den int64
 	Concept  uint8
+	Variant  string
 	Stable   bool
 }
 
 // Key identifies a record; two records with equal keys must agree on
-// Stable.
+// Stable. Records of distinct variants are distinct keys — the same
+// class and price can be stable in one model and unstable in another.
 type Key struct {
 	Canon    string
 	Num, Den int64
 	Concept  uint8
+	Variant  string
 }
 
 // Key returns r's identity.
 func (r Record) Key() Key {
-	return Key{Canon: r.Canon, Num: r.Num, Den: r.Den, Concept: r.Concept}
+	return Key{Canon: r.Canon, Num: r.Num, Den: r.Den, Concept: r.Concept, Variant: r.Variant}
 }
 
 func (k Key) less(o Key) bool {
+	if k.Variant != o.Variant {
+		// Default-variant records ("") sort first, so legacy dumps are
+		// byte-identical and variants group together.
+		return k.Variant < o.Variant
+	}
 	if k.Canon != o.Canon {
 		return k.Canon < o.Canon
 	}
@@ -61,6 +71,27 @@ func (r Record) Validate() error {
 	if r.Concept == 0 {
 		return fmt.Errorf("store: record with zero concept")
 	}
+	return validVariant(r.Variant)
+}
+
+// maxVariantBytes caps the encoded variant descriptor, so a corrupt
+// length cannot force a huge allocation during recovery.
+const maxVariantBytes = 1 << 10
+
+// validVariant vets a variant token: the empty string (the default
+// variant) or a short printable-ASCII descriptor with no spaces — the
+// shape game.Variant.Key() produces. The store does not parse the
+// descriptor (it is decoupled from package game, as with Concept); the
+// sweep-cache bridge rejects descriptors that do not parse canonically.
+func validVariant(v string) error {
+	if len(v) > maxVariantBytes {
+		return fmt.Errorf("store: variant descriptor of %d bytes exceeds the cap", len(v))
+	}
+	for i := 0; i < len(v); i++ {
+		if v[i] <= ' ' || v[i] > '~' {
+			return fmt.Errorf("store: variant descriptor with non-printable byte 0x%02x", v[i])
+		}
+	}
 	return nil
 }
 
@@ -83,20 +114,28 @@ type Interval struct {
 type CertRecord struct {
 	Canon     string
 	Concept   uint8
+	Variant   string
 	Intervals []Interval
 }
 
 // CertKey identifies a certificate; two records with equal keys must
-// agree on their interval sets.
+// agree on their interval sets. Certificates of distinct variants are
+// distinct keys.
 type CertKey struct {
 	Canon   string
 	Concept uint8
+	Variant string
 }
 
 // Key returns r's identity.
-func (r CertRecord) Key() CertKey { return CertKey{Canon: r.Canon, Concept: r.Concept} }
+func (r CertRecord) Key() CertKey {
+	return CertKey{Canon: r.Canon, Concept: r.Concept, Variant: r.Variant}
+}
 
 func (k CertKey) less(o CertKey) bool {
+	if k.Variant != o.Variant {
+		return k.Variant < o.Variant
+	}
 	if k.Canon != o.Canon {
 		return k.Canon < o.Canon
 	}
@@ -137,6 +176,9 @@ func (r CertRecord) Validate() error {
 	}
 	if r.Concept == 0 {
 		return fmt.Errorf("store: certificate with zero concept")
+	}
+	if err := validVariant(r.Variant); err != nil {
+		return err
 	}
 	if len(r.Intervals) > maxCertIntervals {
 		return fmt.Errorf("store: certificate with %d intervals exceeds the cap", len(r.Intervals))
@@ -224,11 +266,35 @@ const maxCertIntervals = 1 << 12
 // confused and v1 stores open unchanged.
 const certKind = 0x00
 
+// Variant-tagged frames (codec v2) escape through the certificate
+// discriminator one level deeper: the payload starts 0x00 0x00 — a shape
+// no legacy frame can produce, because a legacy certificate's second byte
+// is the uvarint length of its non-empty canonical key — followed by a
+// kind byte, the uvarint-length-prefixed variant descriptor, and then the
+// complete legacy payload of the wrapped record. Default-variant records
+// never use the escape: they encode byte-identically to codec v1, which
+// is what keeps legacy stores and the default-variant differential dumps
+// exact.
+const (
+	extMagic   = 0x00 // second byte of an extended payload (after certKind)
+	extVerdict = 0x01 // extended kind: variant-tagged verdict
+	extCert    = 0x02 // extended kind: variant-tagged certificate
+)
+
 // encodeRecord renders the frame payload:
 //
 //	uvarint len(canon) | canon | uvarint num | uvarint den | concept | stable
+//
+// prefixed, for non-default variants only, by the extension header
+//
+//	0x00 0x00 0x01 | uvarint len(variant) | variant
 func encodeRecord(r Record) []byte {
-	buf := make([]byte, 0, binary.MaxVarintLen64*3+len(r.Canon)+2)
+	buf := make([]byte, 0, binary.MaxVarintLen64*4+len(r.Canon)+len(r.Variant)+5)
+	if r.Variant != "" {
+		buf = append(buf, certKind, extMagic, extVerdict)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Variant)))
+		buf = append(buf, r.Variant...)
+	}
 	buf = binary.AppendUvarint(buf, uint64(len(r.Canon)))
 	buf = append(buf, r.Canon...)
 	buf = binary.AppendUvarint(buf, uint64(r.Num))
@@ -281,9 +347,16 @@ func decodeRecord(b []byte) (Record, error) {
 //	per interval: flags | uvarint loNum | uvarint loDen
 //	              [ uvarint hiNum | uvarint hiDen  when not HiInf ]
 //
-// flags: bit0 LoOpen, bit1 HiOpen, bit2 HiInf.
+// flags: bit0 LoOpen, bit1 HiOpen, bit2 HiInf. Non-default variants
+// prefix the extension header 0x00 0x00 0x02 | uvarint len(variant) |
+// variant before the legacy payload above.
 func encodeCertRecord(r CertRecord) []byte {
-	buf := make([]byte, 0, 8+len(r.Canon)+len(r.Intervals)*(1+4*binary.MaxVarintLen64))
+	buf := make([]byte, 0, 8+len(r.Canon)+len(r.Variant)+len(r.Intervals)*(1+4*binary.MaxVarintLen64))
+	if r.Variant != "" {
+		buf = append(buf, certKind, extMagic, extCert)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Variant)))
+		buf = append(buf, r.Variant...)
+	}
 	buf = append(buf, certKind)
 	buf = binary.AppendUvarint(buf, uint64(len(r.Canon)))
 	buf = append(buf, r.Canon...)
@@ -309,6 +382,32 @@ func encodeCertRecord(r CertRecord) []byte {
 		}
 	}
 	return buf
+}
+
+// decodeExtended parses the header of an extended (variant-tagged)
+// payload, returning the variant descriptor, the extended kind and the
+// wrapped legacy payload. The wrapped payload is handed to the legacy
+// decoders unchanged, so extended frames cannot drift from the v1 codec
+// — and a nested extension header inside the body fails naturally in
+// those decoders (a zero canonical-key length).
+func decodeExtended(b []byte) (variant string, kind byte, body []byte, err error) {
+	if len(b) < 3 || b[0] != certKind || b[1] != extMagic {
+		return "", 0, nil, fmt.Errorf("store: not an extended payload")
+	}
+	kind = b[2]
+	if kind != extVerdict && kind != extCert {
+		return "", 0, nil, fmt.Errorf("store: unknown extended frame kind 0x%02x", kind)
+	}
+	b = b[3:]
+	vlen, n := binary.Uvarint(b)
+	if n <= 0 || vlen == 0 || vlen > maxVariantBytes || uint64(len(b)-n) < vlen {
+		return "", 0, nil, fmt.Errorf("store: bad variant descriptor length")
+	}
+	variant = string(b[n : n+int(vlen)])
+	if err := validVariant(variant); err != nil {
+		return "", 0, nil, err
+	}
+	return variant, kind, b[n+int(vlen):], nil
 }
 
 // decodeCertRecord parses a certificate frame payload (after the leading

@@ -12,7 +12,7 @@
 //
 // Layout of a store directory:
 //
-//	META.json   {"version":1,"shards":8}     — fixed at creation
+//	META.json   {"version":1,"shards":8}     — shards fixed at creation
 //	LOCK        single-writer flock(2) target (holder pid inside)
 //	seg-00.log … seg-NN.log                  — record segments
 //	checkpoint.json                          — optional resumable-sweep spec
@@ -26,10 +26,20 @@
 // verdict payload, whose first byte is a non-zero key length — selects
 // the certificate encoding). One certificate persists a class's exact
 // stable-α interval set for one concept and subsumes every verdict row
-// over it; Compact folds subsumed verdicts away. The payload encodings
-// are defined in record.go. Concurrent use by multiple goroutines of one
-// process is safe; concurrent writers from different processes are
-// rejected by the lock file.
+// over it; Compact folds subsumed verdicts away.
+//
+// Records of non-default game variants carry their variant descriptor in
+// an extended payload (leading 0x00 0x00 — impossible for either legacy
+// kind; see record.go). Because a pre-variant binary would mistake such
+// a frame for a torn tail and truncate every frame after it, the store
+// lazily rewrites META.json to version 2 immediately before the first
+// variant-tagged frame is appended: old binaries then refuse the store at
+// Open instead of corrupting it. Stores holding only default-variant
+// records stay at version 1, byte-identical to the legacy codec.
+//
+// The payload encodings are defined in record.go. Concurrent use by
+// multiple goroutines of one process is safe; concurrent writers from
+// different processes are rejected by the lock file.
 package store
 
 import (
@@ -153,6 +163,7 @@ type Store struct {
 	segs    []*segment
 	recs    map[Key]bool
 	certs   map[CertKey][]Interval
+	meta    meta     // as on disk; Version lazily bumps to 2 (see bumpMetaLocked)
 	pending int      // buffered records across all segments
 	lock    *os.File // flock-held single-writer lock (nil when read-only)
 	stats   Stats
@@ -196,6 +207,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		opts:  opts,
 		recs:  make(map[Key]bool),
 		certs: make(map[CertKey][]Interval),
+		meta:  m,
 	}
 	if !opts.ReadOnly {
 		lock, err := acquireLock(dir)
@@ -250,7 +262,7 @@ func loadOrCreateMeta(dir string, shards int, readOnly bool) (meta, error) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		return meta{}, fmt.Errorf("store: corrupt META.json: %w", err)
 	}
-	if m.Version != 1 {
+	if m.Version != 1 && m.Version != 2 {
 		return meta{}, fmt.Errorf("store: unsupported format version %d", m.Version)
 	}
 	if m.Shards < 1 || m.Shards > 256 {
@@ -414,6 +426,29 @@ func decodeFrame(b []byte) (n int, fr frame, ok bool) {
 		return 0, frame{}, false
 	}
 	if payload[0] == certKind {
+		if plen >= 2 && payload[1] == extMagic {
+			// Extended (variant-tagged) frame: a legacy certificate's
+			// second byte is its non-zero canonical-key length, so the
+			// 0x00 0x00 prefix is unambiguous.
+			variant, kind, body, err := decodeExtended(payload)
+			if err != nil {
+				return 0, frame{}, false
+			}
+			if kind == extCert {
+				cert, err := decodeCertRecord(body)
+				if err != nil {
+					return 0, frame{}, false
+				}
+				cert.Variant = variant
+				return frameHeader + plen, frame{cert: cert, isCert: true}, true
+			}
+			rec, err := decodeRecord(body)
+			if err != nil {
+				return 0, frame{}, false
+			}
+			rec.Variant = variant
+			return frameHeader + plen, frame{rec: rec}, true
+		}
 		cert, err := decodeCertRecord(payload)
 		if err != nil {
 			return 0, frame{}, false
@@ -468,6 +503,12 @@ func (s *Store) Put(rec Record) error {
 			return fmt.Errorf("store: conflicting verdict for %v", rec.Key())
 		}
 		return nil
+	}
+	if rec.Variant != "" {
+		if err := s.bumpMetaLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
 	}
 	s.recs[rec.Key()] = rec.Stable
 	s.stats.Appended++
@@ -578,6 +619,12 @@ func (s *Store) PutCert(rec CertRecord) error {
 		}
 		return nil
 	}
+	if rec.Variant != "" {
+		if err := s.bumpMetaLocked(); err != nil {
+			s.mu.Unlock()
+			return err
+		}
+	}
 	s.certs[rec.Key()] = rec.Intervals
 	s.stats.Appended++
 	seg := s.shardOf(rec.Canon)
@@ -592,6 +639,26 @@ func (s *Store) PutCert(rec CertRecord) error {
 	err := s.flushLocked()
 	s.mu.Unlock()
 	return err
+}
+
+// bumpMetaLocked records the codec-v2 requirement in META.json, durably,
+// before the first variant-tagged frame is appended. Ordering matters: a
+// pre-variant binary opening a store whose segments hold extended frames
+// would mistake them for a torn tail and truncate every later frame away;
+// bumping the version first makes it refuse the store at Open instead.
+// Callers hold s.mu.
+func (s *Store) bumpMetaLocked() error {
+	if s.meta.Version >= 2 {
+		return nil
+	}
+	m := s.meta
+	m.Version = 2
+	enc, _ := json.Marshal(m)
+	if err := writeFileSync(filepath.Join(s.dir, "META.json"), append(enc, '\n')); err != nil {
+		return fmt.Errorf("store: recording format version 2 for variant records: %w", err)
+	}
+	s.meta = m
+	return nil
 }
 
 // Get returns the persisted verdict for k, if present.
@@ -610,7 +677,7 @@ func (s *Store) GetCert(k CertKey) (CertRecord, bool) {
 	if !ok {
 		return CertRecord{}, false
 	}
-	return CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: ivs}, true
+	return CertRecord{Canon: k.Canon, Concept: k.Concept, Variant: k.Variant, Intervals: ivs}, true
 }
 
 // RangeCerts calls f for every certificate record (pending and durable
@@ -620,7 +687,7 @@ func (s *Store) RangeCerts(f func(CertRecord) bool) {
 	s.mu.Lock()
 	recs := make([]CertRecord, 0, len(s.certs))
 	for k, ivs := range s.certs {
-		recs = append(recs, CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: ivs})
+		recs = append(recs, CertRecord{Canon: k.Canon, Concept: k.Concept, Variant: k.Variant, Intervals: ivs})
 	}
 	s.mu.Unlock()
 	for _, rec := range recs {
@@ -645,7 +712,7 @@ func (s *Store) Range(f func(Record) bool) {
 	s.mu.Lock()
 	recs := make([]Record, 0, len(s.recs))
 	for k, stable := range s.recs {
-		recs = append(recs, Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Stable: stable})
+		recs = append(recs, Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Variant: k.Variant, Stable: stable})
 	}
 	s.mu.Unlock()
 	for _, rec := range recs {
@@ -837,8 +904,8 @@ func (s *Store) Compact() error {
 	sort.Slice(certKeys, func(i, j int) bool { return certKeys[i].less(certKeys[j]) })
 	keys := make([]Key, 0, len(s.recs))
 	for k := range s.recs {
-		if ivs, ok := s.certs[CertKey{Canon: k.Canon, Concept: k.Concept}]; ok {
-			cert := CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: ivs}
+		if ivs, ok := s.certs[CertKey{Canon: k.Canon, Concept: k.Concept, Variant: k.Variant}]; ok {
+			cert := CertRecord{Canon: k.Canon, Concept: k.Concept, Variant: k.Variant, Intervals: ivs}
 			if cert.Contains(k.Num, k.Den) != s.recs[k] {
 				return fmt.Errorf("store: verdict for %v contradicts its certificate", k)
 			}
@@ -854,13 +921,13 @@ func (s *Store) Compact() error {
 	}
 	counts := make([]int, len(s.segs))
 	for _, k := range certKeys {
-		rec := CertRecord{Canon: k.Canon, Concept: k.Concept, Intervals: s.certs[k]}
+		rec := CertRecord{Canon: k.Canon, Concept: k.Concept, Variant: k.Variant, Intervals: s.certs[k]}
 		idx := s.shardIndex(k.Canon)
 		bufs[idx] = append(bufs[idx], encodeCertFrame(rec)...)
 		counts[idx]++
 	}
 	for _, k := range keys {
-		rec := Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Stable: s.recs[k]}
+		rec := Record{Canon: k.Canon, Num: k.Num, Den: k.Den, Concept: k.Concept, Variant: k.Variant, Stable: s.recs[k]}
 		idx := s.shardIndex(k.Canon)
 		bufs[idx] = append(bufs[idx], encodeFrame(rec)...)
 		counts[idx]++

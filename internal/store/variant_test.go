@@ -1,0 +1,305 @@
+package store
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// This file is the persistence edge of the GameVariant redesign: extended
+// (variant-tagged) frames round-trip, legacy frames decode as the default
+// variant byte-for-byte, the META version bumps lazily so pre-variant
+// binaries fail loudly instead of truncating segments, and merge treats
+// distinct variants as distinct keys.
+
+// TestDefaultVariantEncodesLegacyBytes pins the differential anchor at the
+// codec level: a record with the default variant encodes byte-identically
+// to one that never heard of variants, so default-variant stores and
+// dumps stay exact against pre-variant baselines.
+func TestDefaultVariantEncodesLegacyBytes(t *testing.T) {
+	rec := Record{Canon: "class-1", Num: 3, Den: 2, Concept: 2, Stable: true}
+	legacy := []byte{7}
+	legacy = append(legacy, "class-1"...)
+	legacy = append(legacy, 3, 2, 2, 1)
+	if got := encodeRecord(rec); !bytes.Equal(got, legacy) {
+		t.Fatalf("default-variant record encoding % x, want legacy % x", got, legacy)
+	}
+	cert := certOn01("class-1", 2)
+	enc := encodeCertRecord(cert)
+	if enc[0] != certKind || enc[1] == extMagic {
+		t.Fatalf("default-variant certificate must use the legacy encoding, got % x", enc[:4])
+	}
+}
+
+// TestVariantFrameRoundTrip: variant-tagged verdicts and certificates
+// survive encode → frame → decode with their variant intact, and the
+// extended payloads are distinguishable from both legacy kinds.
+func TestVariantFrameRoundTrip(t *testing.T) {
+	rec := Record{Canon: "class-1", Num: 3, Den: 2, Concept: 2, Variant: "unilateral,max", Stable: true}
+	n, fr, ok := decodeFrame(encodeFrame(rec))
+	if !ok || fr.isCert {
+		t.Fatalf("variant verdict frame did not decode as a verdict (ok=%v)", ok)
+	}
+	if n != len(encodeFrame(rec)) || fr.rec != rec {
+		t.Fatalf("variant verdict round trip: %+v -> %+v", rec, fr.rec)
+	}
+	cert := certOn01("class-1", 2)
+	cert.Variant = "mul:0=3/2"
+	n, fr, ok = decodeFrame(encodeCertFrame(cert))
+	if !ok || !fr.isCert {
+		t.Fatalf("variant certificate frame did not decode as a certificate (ok=%v)", ok)
+	}
+	if n != len(encodeCertFrame(cert)) || fr.cert.Variant != cert.Variant ||
+		fr.cert.Canon != cert.Canon || !equalIntervals(fr.cert.Intervals, cert.Intervals) {
+		t.Fatalf("variant certificate round trip: %+v -> %+v", cert, fr.cert)
+	}
+}
+
+// TestLegacyFramesDecodeAsDefaultVariant replays a hand-built legacy
+// segment image and checks every record comes back with the empty
+// (default) variant — the upgrade path for stores written before the
+// redesign.
+func TestLegacyFramesDecodeAsDefaultVariant(t *testing.T) {
+	dir := t.TempDir()
+	seg := []byte(segMagic)
+	seg = append(seg, frameOf([]byte{7, 'c', 'l', 'a', 's', 's', '-', '1', 3, 2, 2, 1})...)
+	legacyCert := certOn01("class-1", 2)
+	legacyCert.Variant = "" // encode through the legacy path
+	seg = append(seg, frameOf(encodeCertRecord(legacyCert))...)
+	metaJSON := []byte(`{"version":1,"shards":1}` + "\n")
+	if err := os.WriteFile(filepath.Join(dir, "META.json"), metaJSON, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "seg-00.log"), seg, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	stable, ok := s.Get(Key{Canon: "class-1", Num: 3, Den: 2, Concept: 2})
+	if !ok || !stable {
+		t.Fatalf("legacy verdict not found under the default-variant key (ok=%v stable=%v)", ok, stable)
+	}
+	if _, ok := s.Get(Key{Canon: "class-1", Num: 3, Den: 2, Concept: 2, Variant: "unilateral"}); ok {
+		t.Fatal("legacy verdict must not answer for a non-default variant")
+	}
+	if c, ok := s.GetCert(CertKey{Canon: "class-1", Concept: 2}); !ok || c.Variant != "" {
+		t.Fatalf("legacy certificate not found under the default-variant key (ok=%v variant=%q)", ok, c.Variant)
+	}
+}
+
+func readMetaVersion(t *testing.T, dir string) int {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join(dir, "META.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m meta
+	if err := json.Unmarshal(data, &m); err != nil {
+		t.Fatal(err)
+	}
+	return m.Version
+}
+
+// TestMetaVersionBumpsOnFirstVariantWrite: default-variant writes leave a
+// store at format version 1; the first variant-tagged write durably bumps
+// it to 2 before the frame lands, and the store reopens with everything
+// intact. A pre-variant binary (which rejects version != 1) then refuses
+// the store at Open instead of mistaking extended frames for a torn tail.
+func TestMetaVersionBumpsOnFirstVariantWrite(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(Record{Canon: "class-1", Num: 1, Den: 1, Concept: 2, Stable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if v := readMetaVersion(t, dir); v != 1 {
+		t.Fatalf("default-variant writes must keep version 1, got %d", v)
+	}
+	if err := s.Put(Record{Canon: "class-1", Num: 1, Den: 1, Concept: 2, Variant: "unilateral", Stable: false}); err != nil {
+		t.Fatal(err)
+	}
+	// The bump is durable before the frame is even flushed.
+	if v := readMetaVersion(t, dir); v != 2 {
+		t.Fatalf("variant write must bump the version to 2, got %d", v)
+	}
+	if err := s.PutCert(CertRecord{Canon: "class-2", Concept: 2, Variant: "max",
+		Intervals: []Interval{{LoNum: 0, LoDen: 1, HiInf: true}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if v := readMetaVersion(t, dir); v != 2 {
+		t.Fatalf("version must stay 2 after close, got %d", v)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatalf("reopening a version-2 store: %v", err)
+	}
+	defer r.Close()
+	if stable, ok := r.Get(Key{Canon: "class-1", Num: 1, Den: 1, Concept: 2, Variant: "unilateral"}); !ok || stable {
+		t.Fatalf("variant verdict lost across reopen (ok=%v stable=%v)", ok, stable)
+	}
+	if stable, ok := r.Get(Key{Canon: "class-1", Num: 1, Den: 1, Concept: 2}); !ok || !stable {
+		t.Fatalf("default verdict lost across reopen (ok=%v stable=%v)", ok, stable)
+	}
+	if _, ok := r.GetCert(CertKey{Canon: "class-2", Concept: 2, Variant: "max"}); !ok {
+		t.Fatal("variant certificate lost across reopen")
+	}
+}
+
+// TestIngestKeepsVariantsDistinct: the same class, price and concept may
+// legitimately hold opposite verdicts in different variants — merge must
+// keep both — while a contradiction within one variant still fails loudly.
+func TestIngestKeepsVariantsDistinct(t *testing.T) {
+	a, b, dst := openShard(t), openShard(t), openShard(t)
+	if err := a.Put(Record{Canon: "class-1", Num: 2, Den: 1, Concept: 2, Stable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Put(Record{Canon: "class-1", Num: 2, Den: 1, Concept: 2, Variant: "unilateral", Stable: false}); err != nil {
+		t.Fatal(err)
+	}
+	cert := certOn01("class-2", 3)
+	if err := a.PutCert(cert); err != nil {
+		t.Fatal(err)
+	}
+	vcert := certOn01("class-2", 3)
+	vcert.Variant = "max"
+	vcert.Intervals = []Interval{{LoNum: 0, LoDen: 1, HiInf: true}}
+	if err := b.PutCert(vcert); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Ingest(a); err != nil {
+		t.Fatal(err)
+	}
+	st, err := dst.Ingest(b)
+	if err != nil {
+		t.Fatalf("cross-variant ingest must not conflict: %v", err)
+	}
+	if st.Verdicts != 1 || st.Certificates != 1 || st.Duplicates != 0 {
+		t.Fatalf("cross-variant ingest stats %+v", st)
+	}
+	if stable, ok := dst.Get(Key{Canon: "class-1", Num: 2, Den: 1, Concept: 2}); !ok || !stable {
+		t.Fatal("default-variant verdict lost in merge")
+	}
+	if stable, ok := dst.Get(Key{Canon: "class-1", Num: 2, Den: 1, Concept: 2, Variant: "unilateral"}); !ok || stable {
+		t.Fatal("unilateral verdict lost in merge")
+	}
+
+	// Same variant, contradictory verdict: corruption, fails loudly.
+	c := openShard(t)
+	if err := c.Put(Record{Canon: "class-1", Num: 2, Den: 1, Concept: 2, Variant: "unilateral", Stable: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dst.Ingest(c); err == nil || !strings.Contains(err.Error(), "conflict") {
+		t.Fatalf("same-variant contradiction must fail the merge, got %v", err)
+	}
+}
+
+// TestCompactPreservesVariants: compaction folds certificate-subsumed
+// verdicts per variant — a default-variant certificate must not swallow a
+// variant verdict of the same class and concept — and variant records
+// survive the rewrite.
+func TestCompactPreservesVariants(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// Certificate for (class-1, concept 2) in the DEFAULT variant: stable
+	// on [0,1).
+	if err := s.PutCert(certOn01("class-1", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// Default verdict at α=1/2 (inside the certificate): subsumed.
+	if err := s.Put(Record{Canon: "class-1", Num: 1, Den: 2, Concept: 2, Stable: true}); err != nil {
+		t.Fatal(err)
+	}
+	// Unilateral verdict at the same α with the OPPOSITE result: must
+	// survive compaction untouched — it belongs to a different game.
+	if err := s.Put(Record{Canon: "class-1", Num: 1, Den: 2, Concept: 2, Variant: "unilateral", Stable: false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(Key{Canon: "class-1", Num: 1, Den: 2, Concept: 2}); ok {
+		t.Fatal("default verdict inside its certificate must be folded away")
+	}
+	if stable, ok := s.Get(Key{Canon: "class-1", Num: 1, Den: 2, Concept: 2, Variant: "unilateral"}); !ok || stable {
+		t.Fatalf("unilateral verdict lost or flipped by compaction (ok=%v stable=%v)", ok, stable)
+	}
+	// And everything survives a reopen of the compacted segments.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if stable, ok := r.Get(Key{Canon: "class-1", Num: 1, Den: 2, Concept: 2, Variant: "unilateral"}); !ok || stable {
+		t.Fatalf("unilateral verdict lost across compact+reopen (ok=%v stable=%v)", ok, stable)
+	}
+	if _, ok := r.GetCert(CertKey{Canon: "class-1", Concept: 2}); !ok {
+		t.Fatal("default certificate lost across compact+reopen")
+	}
+}
+
+// TestVariantValidation: Put refuses descriptors the codec cannot carry.
+func TestVariantValidation(t *testing.T) {
+	s := openShard(t)
+	for _, v := range []string{"uni lateral", "uni\nlateral", "ünilateral", strings.Repeat("x", maxVariantBytes+1)} {
+		if err := s.Put(Record{Canon: "c", Num: 1, Den: 1, Concept: 2, Variant: v, Stable: true}); err == nil {
+			t.Errorf("Put accepted invalid variant %q", v)
+		}
+	}
+}
+
+// FuzzVariantFrameRoundTrip is the variant edition of the codec fuzz
+// targets: any record that validates — variant included — survives
+// encode → frame → decode byte-identically in both payload kinds, and
+// the extended header never collides with the legacy encodings.
+func FuzzVariantFrameRoundTrip(f *testing.F) {
+	f.Add([]byte("class"), int64(3), int64(2), uint8(2), true, "unilateral")
+	f.Add([]byte{0, 1, 0}, int64(1), int64(1), uint8(9), false, "unilateral,max")
+	f.Add([]byte("(())"), int64(7), int64(3), uint8(4), true, "mul:0=3,mul:1=2/3")
+	f.Add([]byte("x"), int64(0), int64(1), uint8(1), false, "")
+	f.Fuzz(func(t *testing.T, canon []byte, num, den int64, concept uint8, stable bool, variant string) {
+		rec := Record{Canon: string(canon), Num: num, Den: den, Concept: concept, Variant: variant, Stable: stable}
+		if rec.Validate() != nil {
+			return
+		}
+		frame := encodeFrame(rec)
+		n, got, ok := decodeFrame(frame)
+		if !ok || got.isCert || n != len(frame) || got.rec != rec {
+			t.Fatalf("variant verdict round trip failed: ok=%v n=%d %+v -> %+v", ok, n, rec, got.rec)
+		}
+		cert := CertRecord{Canon: string(canon), Concept: concept, Variant: variant,
+			Intervals: []Interval{{LoNum: 0, LoDen: 1, HiInf: true}}}
+		if cert.Validate() != nil {
+			return
+		}
+		cframe := encodeCertFrame(cert)
+		n, got, ok = decodeFrame(cframe)
+		if !ok || !got.isCert || n != len(cframe) {
+			t.Fatalf("variant certificate frame failed to decode: ok=%v n=%d", ok, n)
+		}
+		if got.cert.Canon != cert.Canon || got.cert.Concept != cert.Concept ||
+			got.cert.Variant != cert.Variant || !equalIntervals(got.cert.Intervals, cert.Intervals) {
+			t.Fatalf("variant certificate round trip changed the record: %+v -> %+v", cert, got.cert)
+		}
+	})
+}

@@ -16,20 +16,28 @@ import (
 // strings are over the bytes {0x00, 0x01} and FreeTreeKey strings over
 // "()". Witness moves, by contrast, are label-dependent and therefore never
 // cached; cached verdicts carry the stability bit only.
+//
+// Variant is the game variant's canonical descriptor (game.Variant.Key();
+// "" for the paper's default model): the same class and price can be
+// stable in one variant and unstable in another, so verdicts of distinct
+// variants are distinct entries.
 type Key struct {
 	Canon    string
 	Num, Den int64
 	Concept  eq.Concept
+	Variant  string
 }
 
 // CertKey identifies one memoized stability certificate: the canonical
-// form and the concept. A certificate answers every α at once, so the
-// price is not part of the key — that is the whole economy of the
-// parametric engine: one cache entry (and one persisted record) replaces a
-// per-α row of verdicts.
+// form, the concept and the game variant (as its canonical descriptor, ""
+// for the default). A certificate answers every α at once, so the price
+// is not part of the key — that is the whole economy of the parametric
+// engine: one cache entry (and one persisted record) replaces a per-α row
+// of verdicts.
 type CertKey struct {
 	Canon   string
 	Concept eq.Concept
+	Variant string
 }
 
 // CacheStats is an observability snapshot of a Cache.
@@ -135,12 +143,12 @@ func (c *Cache) Stats() CacheStats {
 	}
 }
 
-// GetCert returns the memoized certificate for (canon, concept), if
-// present. It does not touch the hit/miss counters: the sweep engine
-// counts per answered verdict, not per certificate (see lookupCert).
-func (c *Cache) GetCert(canon string, concept eq.Concept) (eq.AlphaSet, bool) {
+// GetCert returns the memoized certificate for k, if present. It does not
+// touch the hit/miss counters: the sweep engine counts per answered
+// verdict, not per certificate (see lookupCert).
+func (c *Cache) GetCert(k CertKey) (eq.AlphaSet, bool) {
 	c.mu.RLock()
-	set, ok := c.certs[CertKey{Canon: canon, Concept: concept}]
+	set, ok := c.certs[k]
 	c.mu.RUnlock()
 	return set, ok
 }
@@ -156,8 +164,7 @@ func (c *Cache) CountHit() { c.hits.Add(1) }
 // PutCert memoizes a certificate (and forwards it to the persistence
 // sink, when one is attached). Certificates are pure functions of their
 // key, so a repeat Put is a no-op.
-func (c *Cache) PutCert(canon string, concept eq.Concept, set eq.AlphaSet) {
-	k := CertKey{Canon: canon, Concept: concept}
+func (c *Cache) PutCert(k CertKey, set eq.AlphaSet) {
 	c.mu.Lock()
 	_, seen := c.certs[k]
 	if !seen {
@@ -193,8 +200,8 @@ func (c *Cache) RangeCerts(f func(CertKey, eq.AlphaSet) bool) {
 // lookupCert is the sweep engine's certificate fetch: a hit counts once
 // per grid price it is about to answer, so Result.Hits/Misses and the
 // lifetime counters stay in verdict units across engine generations.
-func (c *Cache) lookupCert(canon string, concept eq.Concept, alphas int) (eq.AlphaSet, bool) {
-	set, ok := c.GetCert(canon, concept)
+func (c *Cache) lookupCert(k CertKey, alphas int) (eq.AlphaSet, bool) {
+	set, ok := c.GetCert(k)
 	if ok {
 		c.hits.Add(int64(alphas))
 	} else {

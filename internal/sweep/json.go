@@ -6,25 +6,40 @@ import (
 	"repro/internal/graph"
 )
 
+// SchemaVersion is the generation stamp every public JSON payload carries
+// as "schema_version" — sweep results, /v1/* response bodies and the
+// CLI's -json outputs alike. Generation history:
+//
+//	1 — the GameVariant redesign: payloads gain "schema_version" itself
+//	    and a "variant" field (omitted for the paper's default model);
+//	    every pre-existing field is unchanged, which the compatibility
+//	    tests pin field by field.
+//
+// Consumers should ignore fields they do not know and reject versions
+// newer than they understand.
+const SchemaVersion = 1
+
 // The JSON schema of a sweep result is part of the v2 API surface: field
 // names and order are stable, α values and concepts render as their exact
 // string forms, and each isomorphism class is encoded once in "graph_list"
 // (in enumeration order) rather than per item. Consumers rejoin an item to
 // its graph via "graph_index".
 type resultJSON struct {
-	N           int               `json:"n"`
-	Source      string            `json:"source"`
-	Alphas      []string          `json:"alphas"`
-	Concepts    []string          `json:"concepts"`
-	Workers     int               `json:"workers"`
-	Graphs      int               `json:"graphs"`
-	Completed   int               `json:"completed"`
-	CacheHits   int64             `json:"cache_hits"`
-	CacheMisses int64             `json:"cache_misses"`
-	Certified   int64             `json:"certified"`
-	Critical    []ConceptCritical `json:"critical,omitempty"`
-	GraphList   []string          `json:"graph_list"`
-	Items       []itemJSON        `json:"items"`
+	SchemaVersion int               `json:"schema_version"`
+	N             int               `json:"n"`
+	Source        string            `json:"source"`
+	Variant       string            `json:"variant,omitempty"`
+	Alphas        []string          `json:"alphas"`
+	Concepts      []string          `json:"concepts"`
+	Workers       int               `json:"workers"`
+	Graphs        int               `json:"graphs"`
+	Completed     int               `json:"completed"`
+	CacheHits     int64             `json:"cache_hits"`
+	CacheMisses   int64             `json:"cache_misses"`
+	Certified     int64             `json:"certified"`
+	Critical      []ConceptCritical `json:"critical,omitempty"`
+	GraphList     []string          `json:"graph_list"`
+	Items         []itemJSON        `json:"items"`
 }
 
 // MarshalJSON renders one critical row as the stable schema every
@@ -56,19 +71,21 @@ type itemJSON struct {
 // cancelled sweep, unfinished items carry "done": false and zero verdicts.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	out := resultJSON{
-		N:           r.N,
-		Source:      r.Source.String(),
-		Alphas:      make([]string, len(r.Alphas)),
-		Concepts:    make([]string, len(r.Concepts)),
-		Workers:     r.Workers,
-		Graphs:      r.Graphs,
-		Completed:   r.Completed,
-		CacheHits:   r.Hits,
-		CacheMisses: r.Misses,
-		Certified:   r.Certified,
-		GraphList:   make([]string, 0, r.Graphs),
-		Items:       make([]itemJSON, len(r.Items)),
-		Critical:    r.Critical,
+		SchemaVersion: SchemaVersion,
+		N:             r.N,
+		Source:        r.Source.String(),
+		Variant:       r.Variant.Key(),
+		Alphas:        make([]string, len(r.Alphas)),
+		Concepts:      make([]string, len(r.Concepts)),
+		Workers:       r.Workers,
+		Graphs:        r.Graphs,
+		Completed:     r.Completed,
+		CacheHits:     r.Hits,
+		CacheMisses:   r.Misses,
+		Certified:     r.Certified,
+		GraphList:     make([]string, 0, r.Graphs),
+		Items:         make([]itemJSON, len(r.Items)),
+		Critical:      r.Critical,
 	}
 	for i, a := range r.Alphas {
 		out.Alphas[i] = a.String()

@@ -68,12 +68,12 @@ func alphaSetOfStore(ivs []store.Interval) eq.AlphaSet {
 func (c *Cache) WarmStart(st *store.Store) int {
 	n := 0
 	st.Range(func(r store.Record) bool {
-		c.insert(Key{Canon: r.Canon, Num: r.Num, Den: r.Den, Concept: eq.Concept(r.Concept)}, r.Stable)
+		c.insert(Key{Canon: r.Canon, Num: r.Num, Den: r.Den, Concept: eq.Concept(r.Concept), Variant: r.Variant}, r.Stable)
 		n++
 		return true
 	})
 	st.RangeCerts(func(r store.CertRecord) bool {
-		c.insertCert(CertKey{Canon: r.Canon, Concept: eq.Concept(r.Concept)}, alphaSetOfStore(r.Intervals))
+		c.insertCert(CertKey{Canon: r.Canon, Concept: eq.Concept(r.Concept), Variant: r.Variant}, alphaSetOfStore(r.Intervals))
 		n++
 		return true
 	})
@@ -102,6 +102,7 @@ func (c *Cache) Persist(st *store.Store) {
 			Num:     k.Num,
 			Den:     k.Den,
 			Concept: uint8(k.Concept),
+			Variant: k.Variant,
 			Stable:  stable,
 		})
 	}
@@ -109,6 +110,7 @@ func (c *Cache) Persist(st *store.Store) {
 		_ = st.PutCert(store.CertRecord{
 			Canon:     k.Canon,
 			Concept:   uint8(k.Concept),
+			Variant:   k.Variant,
 			Intervals: storeIntervals(set),
 		})
 	}
@@ -124,10 +126,14 @@ func (c *Cache) Persist(st *store.Store) {
 //	    shares the checkpoint.json slot's atomic-write discipline: the two
 //	    documents (and any future schema change to either) must be
 //	    distinguishable on disk, not by guessing at field shapes.
+//	3 — adds the game-variant descriptor. Version-2 documents load as the
+//	    default variant (the field is omitted there); version-3 documents
+//	    are rejected by older binaries, which cannot evaluate the variant
+//	    they describe.
 //
 // Loading rejects generations newer than this binary understands, so an
 // old worker cannot silently misread a future coordinator's table.
-const CheckpointVersion = 2
+const CheckpointVersion = 3
 
 // Checkpoint is the durable description of a sweep grid plus its progress,
 // saved alongside the verdict segments (store.SaveCheckpoint) so `bncg
@@ -139,6 +145,7 @@ type Checkpoint struct {
 	Source    string   `json:"source"`
 	Alphas    []string `json:"alphas"`
 	Concepts  []string `json:"concepts"`
+	Variant   string   `json:"variant,omitempty"`
 	Rho       bool     `json:"rho"`
 	Total     int      `json:"total"`
 	Completed int      `json:"completed"`
@@ -151,6 +158,7 @@ func NewCheckpoint(opts Options, total, completed int) Checkpoint {
 		Version:   CheckpointVersion,
 		N:         opts.N,
 		Source:    opts.Source.String(),
+		Variant:   opts.Variant.Key(),
 		Rho:       opts.Rho,
 		Total:     total,
 		Completed: completed,
@@ -175,6 +183,13 @@ func (cp Checkpoint) Options() (Options, error) {
 		return Options{}, fmt.Errorf("sweep: checkpoint schema version %d is newer than this binary's %d", cp.Version, CheckpointVersion)
 	}
 	opts := Options{N: cp.N, Rho: cp.Rho}
+	if cp.Variant != "" {
+		v, err := game.ParseVariant(cp.Variant)
+		if err != nil {
+			return Options{}, fmt.Errorf("sweep: checkpoint variant: %w", err)
+		}
+		opts.Variant = v
+	}
 	switch cp.Source {
 	case Graphs.String():
 		opts.Source = Graphs

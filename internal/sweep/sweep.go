@@ -94,6 +94,13 @@ type Options struct {
 	// Concepts are the solution concepts checked per (graph, α) pair. At
 	// most 16, so a stability vector fits a Vector.
 	Concepts []eq.Concept
+	// Variant selects the game variant every check and certificate runs
+	// under — consent mode, distance aggregate, per-agent price
+	// multipliers. The zero value is the paper's bilateral SUM model, and a
+	// default-variant sweep is byte-identical to one that predates the
+	// field. Certificates cache and persist under the variant's canonical
+	// descriptor, so variants never contaminate each other's entries.
+	Variant game.Variant
 	// Workers is the worker-pool size; values <= 0 select GOMAXPROCS.
 	Workers int
 	// Source selects connected graphs (the default) or free trees.
@@ -172,6 +179,9 @@ type Result struct {
 	Source   Source
 	Alphas   []game.Alpha
 	Concepts []eq.Concept
+	// Variant is the game variant the sweep ran under (zero value: the
+	// paper's default model).
+	Variant game.Variant
 	// Workers is the resolved pool size that ran the sweep. It never
 	// influences Items or Report.
 	Workers int
@@ -240,12 +250,22 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 	if opts.ClassEnd > 0 && opts.ClassEnd <= opts.ClassStart {
 		return nil, fmt.Errorf("sweep: empty class range [%d, %d)", opts.ClassStart, opts.ClassEnd)
 	}
+	if err := opts.Variant.Validate(opts.N); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	if opts.Rho && !opts.Variant.IsDefault() {
+		// ρ normalizes by OptCost, whose closed forms are specific to the
+		// default model; a variant ρ would silently compare against the
+		// wrong optimum.
+		return nil, fmt.Errorf("sweep: rho is defined for the default variant only")
+	}
 	games := make([]game.Game, len(opts.Alphas))
 	for i, alpha := range opts.Alphas {
 		gm, err := game.NewGame(opts.N, alpha)
 		if err != nil {
 			return nil, err
 		}
+		gm.Variant = opts.Variant
 		games[i] = gm
 	}
 
@@ -254,6 +274,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 		Source:   opts.Source,
 		Alphas:   opts.Alphas,
 		Concepts: opts.Concepts,
+		Variant:  opts.Variant,
 		Workers:  opts.Workers,
 	}
 	if res.Workers <= 0 {
@@ -301,6 +322,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 
 	total := len(res.Items)
 	nAlphas := len(opts.Alphas)
+	vkey := opts.Variant.Key()
 	res.Certs = make([]eq.AlphaSet, len(graphs)*len(opts.Concepts))
 	var next, hits, misses, certified atomic.Int64
 	// The task unit is one graph class: a worker fetches (or computes) one
@@ -334,7 +356,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 				for ci, concept := range opts.Concepts {
 					set, ok := eq.AlphaSet{}, false
 					if opts.Cache != nil {
-						set, ok = opts.Cache.lookupCert(keys[gi], concept, nAlphas)
+						set, ok = opts.Cache.lookupCert(CertKey{Canon: keys[gi], Concept: concept, Variant: vkey}, nAlphas)
 					}
 					if ok {
 						hits.Add(int64(nAlphas))
@@ -367,7 +389,7 @@ func Run(ctx context.Context, opts Options) (*Result, error) {
 						certified.Add(1)
 						if opts.Cache != nil {
 							writeSpan := opts.Trace.Start("cache_write")
-							opts.Cache.PutCert(keys[gi], concept, set)
+							opts.Cache.PutCert(CertKey{Canon: keys[gi], Concept: concept, Variant: vkey}, set)
 							if writeSpan != nil {
 								writeSpan.End(obs.Attrs{"class": opts.ClassStart + gi, "concept": concept.String()})
 							}
@@ -545,8 +567,10 @@ func Stream(ctx context.Context, opts Options) iter.Seq[Item] {
 // cancelled sweep the counts cover only the completed tasks.
 func (r *Result) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sweep n=%d source=%s: %d graphs × %d α × %d concepts\n",
-		r.N, r.Source, r.Graphs, len(r.Alphas), len(r.Concepts))
+	// The variant segment appears only for non-default variants, keeping
+	// default-variant reports byte-identical to the pre-variant engine.
+	fmt.Fprintf(&b, "sweep n=%d source=%s%s: %d graphs × %d α × %d concepts\n",
+		r.N, r.Source, variantSegment(r.Variant), r.Graphs, len(r.Alphas), len(r.Concepts))
 	fmt.Fprintf(&b, "%8s", "α")
 	for _, c := range r.Concepts {
 		fmt.Fprintf(&b, " %6s", c)
@@ -582,8 +606,8 @@ func (r *Result) CriticalReport() string {
 		return ""
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "critical n=%d source=%s: %d classes, exact stable-α structure\n",
-		r.N, r.Source, r.Graphs)
+	fmt.Fprintf(&b, "critical n=%d source=%s%s: %d classes, exact stable-α structure\n",
+		r.N, r.Source, variantSegment(r.Variant), r.Graphs)
 	for ci, cc := range r.Critical {
 		fmt.Fprintf(&b, "%-6s breakpoints:", cc.Concept)
 		if len(cc.Alphas) == 0 {
@@ -606,6 +630,16 @@ func (r *Result) CriticalReport() string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// variantSegment renders the " variant=..." header segment of the text
+// reports — empty for the default variant, so legacy reports stay
+// byte-identical.
+func variantSegment(v game.Variant) string {
+	if v.IsDefault() {
+		return ""
+	}
+	return " variant=" + v.String()
 }
 
 // region is one α-axis segment of a critical report: a printable label
