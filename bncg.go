@@ -13,6 +13,7 @@ import (
 	"repro/internal/ncg"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/sweep"
 )
@@ -421,6 +422,55 @@ var (
 	RunDynamics = dynamics.Run
 	// SampleDynamics summarizes dynamics runs from random starting graphs.
 	SampleDynamics = dynamics.Sample
+)
+
+// Incremental dynamics + stochastic simulation (v10).
+type (
+	// DynamicsScheduler selects the candidate-scan policy of a dynamics
+	// run: uniform (the zero value), round-robin, or breakpoint-guided.
+	DynamicsScheduler = dynamics.Scheduler
+	// IncDist maintains all-pairs shortest-path distances of a graph under
+	// single edge toggles, repairing only the affected region per change.
+	IncDist = graph.IncDist
+	// SimOptions configures a simulation batch: n, α grid, trajectories
+	// per α, init families, move set, scheduler and determinism seed.
+	SimOptions = sim.Options
+	// SimResult is a finished (or cancelled) simulation batch.
+	SimResult = sim.Result
+	// SimTrajectory reports one dynamics run and its final topology.
+	SimTrajectory = sim.Trajectory
+	// SimAlphaSummary aggregates the trajectories of one grid price.
+	SimAlphaSummary = sim.AlphaSummary
+	// SimInit selects an initial-state family (ER, tree, star).
+	SimInit = sim.Init
+)
+
+// The dynamics schedulers.
+const (
+	SchedulerUniform    = dynamics.SchedulerUniform
+	SchedulerRoundRobin = dynamics.SchedulerRoundRobin
+	SchedulerBreakpoint = dynamics.SchedulerBreakpoint
+)
+
+var (
+	// ParseScheduler parses a scheduler name ("uniform", "roundrobin",
+	// "breakpoint-guided", ...).
+	ParseScheduler = dynamics.ParseScheduler
+	// NewIncDist builds the incremental-distance state of g with one BFS
+	// per source; mutate the graph only through the returned kernel.
+	NewIncDist = graph.NewIncDist
+	// Simulate runs a batch of dynamics trajectories across an α grid with
+	// deterministic per-trajectory seeding and in-order streaming.
+	Simulate = sim.Run
+	// ParseSimInits parses an init-family selector (er|tree|star|all).
+	ParseSimInits = sim.ParseInits
+	// SimTrajectorySeed derives the deterministic seed of one trajectory.
+	SimTrajectorySeed = sim.TrajectorySeed
+	// RandomGNP, RandomConnectedGNP and RandomStar sample the simulation
+	// initial-state families (seeded, reproducible).
+	RandomGNP          = graph.RandomGNP
+	RandomConnectedGNP = graph.RandomConnectedGNP
+	RandomStar         = graph.RandomStar
 )
 
 // Experiments.

@@ -15,6 +15,11 @@
 //	     [-concepts <list>] [-variant <desc>] [-trees] [-rho] [-exact]
 //	     [-json] [-progress] [-store <dir>] [-resume] [-trace <file>]
 //	     [-metrics-addr <host:port>] [-pprof]
+//	bncg [-timeout <d>] simulate [-n <nodes>] [-alphas <grid>]
+//	     [-trajectories <t>] [-init er|tree|star|all] [-moves ps|bge]
+//	     [-scheduler <name>] [-max-steps <s>] [-seed <s>] [-p <prob>]
+//	     [-workers <w>] [-variant <desc>] [-json] [-progress]
+//	     [-trace <file>] [-metrics-addr <host:port>] [-pprof]
 //	bncg [-timeout <d>] critical [-n <nodes>] [-workers <w>]
 //	     [-concepts <list>] [-variant <desc>] [-trees] [-json] [-store <dir>]
 //	bncg serve [-addr <host:port>] [-store <dir>] [-workers <w>]
@@ -35,8 +40,9 @@
 //
 // The global -timeout flag bounds the whole invocation; SIGINT (Ctrl-C)
 // cancels gracefully. In both cases the long-running subcommands (sweep,
-// poa, experiment) drain their workers, print the partial report computed
-// so far, and exit non-zero; serve shuts down gracefully and exits zero.
+// simulate, poa, experiment) drain their workers, print the partial report
+// computed so far, and exit non-zero; serve shuts down gracefully and
+// exits zero.
 // A second SIGINT kills the process.
 //
 // fleet and worker together form the distributed sweep: `fleet -dir d`
@@ -79,6 +85,17 @@
 // variant-tagged); serve makes it the daemon's default, which requests
 // override per call with ?variant=; fleet plans it into the lease table,
 // and worker -variant asserts the table's grid matches before joining.
+//
+// Simulation (v10): `simulate` samples improving-response dynamics where
+// enumeration cannot reach — batches of trajectories on the
+// incremental-distance engine from random initial states (Erdős–Rényi,
+// uniform trees, stars) across an α grid at n = 50–500. Every trajectory's
+// seed derives deterministically from -seed and its grid coordinates, and
+// results stream in index order, so the same flags print a byte-identical
+// report at any -workers count. -scheduler picks the move-scan policy
+// (uniform, roundrobin, or the certificate-guided breakpoint scheduler);
+// -moves ps|bge picks the target concept's move families. The daemon
+// exposes the same workload as GET /v1/simulate, streamed as NDJSON.
 //
 // Graphs are read in the plain text edge-list format ("n <count>" then one
 // "u v" pair per line); with no -file, standard input is read.
@@ -138,7 +155,7 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		defer cancel()
 	}
 	if len(args) == 0 {
-		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, critical, serve, store, fleet, worker, trace)")
+		return fmt.Errorf("missing subcommand (list, experiment, gen, check, cost, poa, sweep, simulate, critical, serve, store, fleet, worker, trace)")
 	}
 	switch args[0] {
 	case "list":
@@ -155,6 +172,8 @@ func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) 
 		return runPoA(ctx, args[1:], stdout)
 	case "sweep":
 		return runSweep(ctx, args[1:], stdout)
+	case "simulate":
+		return runSimulate(ctx, args[1:], stdout)
 	case "critical":
 		return runCritical(ctx, args[1:], stdout)
 	case "serve":

@@ -308,11 +308,59 @@
 // by a golden differential harness in tier-1 and fuzzed at the codec and
 // engine layers.
 //
+// # v10: incremental-distance dynamics and the large-n stochastic workload
+//
+// Enumeration certifies every class exactly and dies at n≈7. v10 adds the
+// complementary instrument: sampling. Improving-response dynamics run to
+// their fixed points (exactly the PS/BGE states for the chosen move set)
+// from random initial states at n = 50–500, where the bottleneck was the
+// old engine's fresh BFS per candidate probe.
+//
+//   - graph.IncDist is an incremental all-pairs distance kernel: n int32
+//     rows plus per-source aggregates (finite-distance sum, unreachable
+//     count), repaired under single edge toggles instead of recomputed.
+//     Adds repair by a pruned partial BFS wave from the improved endpoint;
+//     removals use a Ramalingam–Reps style two-phase repair (level-ordered
+//     affected-set cascade, then a bucket-queue unit-Dijkstra seeded from
+//     the unaffected boundary). Repairs touching more than a threshold of
+//     nodes fall back to a fresh BFS of that row. Correctness is pinned
+//     differentially: a table test, a randomized toggle test, and
+//     FuzzIncrementalDistance compare every repaired row against fresh
+//     BFS after every toggle (CI smoke + nightly rotation).
+//   - internal/dynamics now probes candidates through the kernel: flip the
+//     edge, repair only the actors' rows, read costs from aggregates, flip
+//     back. Candidate scans reuse a persistent pair pool (zero allocations
+//     at steady state, pinned by test), and three schedulers pick the scan
+//     policy — uniform, round-robin, and a breakpoint-guided scheduler
+//     that commits the move whose improving α-interval (via eq.Certify's
+//     interval arithmetic) has maximal margin around the current price.
+//     The old evaluator path survives verbatim as Options.FullRecompute,
+//     the differential oracle and benchmark baseline: ~9× more ns/op and
+//     ~4000× more allocs/op at n=256 (BENCH_sim.json, gated ≥5× in CI).
+//   - internal/sim batches trajectories across an α grid from seeded
+//     random initial states (connectivity-patched Erdős–Rényi, uniform
+//     Prüfer trees, stars): per-trajectory seeds derive via a splitmix64
+//     finalizer from (base seed, grid coordinates), workers run in
+//     parallel, and results stream in global index order — the report is
+//     a pure function of the options, byte-identical at any worker count
+//     (gated in CI by run-twice diffs). Per-α summaries aggregate
+//     convergence steps (mean/p50/p95/max), final-topology statistics
+//     (edges, diameter, tree/star shares) and ρ against the social
+//     optimum.
+//   - `bncg simulate` is the CLI face (α grid, trajectories, init family,
+//     ps|bge move set, scheduler, seed, -json, the usual -trace and
+//     -metrics-addr sidecar); GET /v1/simulate streams the same batch as
+//     NDJSON under the daemon's admission control, with MaxSimN and
+//     MaxTrajectories caps and per-route metrics. Three new instrument
+//     families record trajectory outcomes, step counts and latencies.
+//
 // See the examples directory for runnable programs and EXPERIMENTS.md for
 // the recorded reproduction results, the file format of the verdict
 // store, the NDJSON/JSON schemas of the serving endpoints, the
 // before/after numbers of the v4 kernel, the exact critical-α tables
 // of the v5 certificate engine, the n=7 fleet sweep recipe, the traced
-// stage breakdowns of the v8 observability layer, and the v9 unilateral
-// and MAX-distance editions of Table 1.
+// stage breakdowns of the v8 observability layer, the v9 unilateral
+// and MAX-distance editions of Table 1, and the v10 sampled
+// convergence-step and equilibrium-topology distributions beyond
+// enumeration reach.
 package bncg

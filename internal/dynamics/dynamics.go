@@ -42,6 +42,17 @@ type Options struct {
 	// rand.New(rand.NewSource(DefaultSeed)), making runs with the zero
 	// value reproducible; pass an explicit source to vary or share streams.
 	Rng *rand.Rand
+	// Scheduler selects the candidate-scan policy: SchedulerUniform (the
+	// zero value, random scan order), SchedulerRoundRobin, or
+	// SchedulerBreakpoint (certificate-guided). Ignored by the
+	// FullRecompute oracle, which always scans uniformly.
+	Scheduler Scheduler
+	// FullRecompute bypasses the incremental-distance engine and probes
+	// every candidate through a freshly bound eq.Evaluator, recomputing
+	// BFS per probe. It exists as the differential oracle and benchmark
+	// baseline for the incremental engine; production callers leave it
+	// false.
+	FullRecompute bool
 }
 
 // rng returns the configured random source, defaulting to a fixed seed.
@@ -79,10 +90,39 @@ func Run(ctx context.Context, gm game.Game, g *graph.Graph, opts Options) (Trace
 	if maxSteps == 0 {
 		maxSteps = 10 * g.N() * g.N()
 	}
-	var tr Trace
-	// One evaluator serves the whole run: Improving re-binds it per
-	// candidate but reuses its BFS and baseline buffers across the
-	// thousands of scans a run performs.
+	// Start the history at a real capacity instead of growing from nil:
+	// convergence at n=500 means thousands of appends per trajectory.
+	histCap := maxSteps
+	if histCap > 1024 {
+		histCap = 1024
+	}
+	tr := Trace{History: make([]move.Move, 0, histCap)}
+	if opts.FullRecompute {
+		return runFullRecompute(ctx, gm, g, opts, rng, maxSteps, tr)
+	}
+	eng := newEngine(gm, g, opts)
+	for tr.Steps < maxSteps {
+		if err := ctx.Err(); err != nil {
+			return tr, err
+		}
+		c, ok := eng.find(rng)
+		if !ok {
+			tr.Converged = true
+			return tr, nil
+		}
+		tr.History = append(tr.History, eng.commit(c))
+		tr.Steps++
+	}
+	// One final scan decides whether we stopped exactly at a fixed point.
+	_, more := eng.find(rng)
+	tr.Converged = !more
+	return tr, nil
+}
+
+// runFullRecompute is the pre-incremental engine, kept verbatim as the
+// differential oracle and benchmark baseline: per-scan candidate slice
+// rebuild, evaluator re-bind, and a fresh BFS per actor per probe.
+func runFullRecompute(ctx context.Context, gm game.Game, g *graph.Graph, opts Options, rng *rand.Rand, maxSteps int, tr Trace) (Trace, error) {
 	ev := eq.NewEvaluator()
 	for tr.Steps < maxSteps {
 		if err := ctx.Err(); err != nil {
@@ -99,7 +139,6 @@ func Run(ctx context.Context, gm game.Game, g *graph.Graph, opts Options) (Trace
 		tr.History = append(tr.History, m)
 		tr.Steps++
 	}
-	// One final scan decides whether we stopped exactly at a fixed point.
 	_, more := findImproving(ev, gm, g, rng, opts)
 	tr.Converged = !more
 	return tr, nil

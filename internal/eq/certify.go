@@ -86,6 +86,22 @@ func (c *checker) certify(concept Concept) AlphaSet {
 	return complementAxis(c.union)
 }
 
+// ImprovingIntervalOf is the exported face of the certificate engine's
+// per-deviation arithmetic: the exact α-interval on which `after` is
+// strictly cheaper than `before`, and whether it is non-empty. The
+// breakpoint-guided dynamics scheduler uses it to rank improving moves by
+// how far α sits from the price at which they stop improving. Heterogeneous
+// price multipliers are the caller's concern: scale both costs by the
+// agent's (p, q) first, exactly as Certify does.
+func ImprovingIntervalOf(before, after game.Cost) (AlphaInterval, bool) {
+	return improvingIntervalOf(before, after)
+}
+
+// Contains reports whether α lies in the interval.
+func (iv AlphaInterval) Contains(a game.Alpha) bool {
+	return iv.contains(RatOf(a.Num(), a.Den()))
+}
+
 // improvingIntervalOf returns the exact α-interval on which `after` is
 // strictly cheaper than `before` under the lexicographic cost order, and
 // whether that interval is non-empty. With equal reachability the

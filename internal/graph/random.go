@@ -46,6 +46,62 @@ func RandomGraph(n, m int, rng *rand.Rand) (*Graph, error) {
 	return g, nil
 }
 
+// RandomGNP returns an Erdős–Rényi G(n, p) graph: every node pair is an
+// edge independently with probability p. p outside [0,1] is an error.
+func RandomGNP(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	if p < 0 || p > 1 {
+		return nil, fmt.Errorf("graph: edge probability %v outside [0,1]", p)
+	}
+	g := New(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.insertEdge(u, v)
+			}
+		}
+	}
+	return g, nil
+}
+
+// RandomConnectedGNP returns a G(n, p) sample patched up to connectivity:
+// after sampling, every component beyond the first is joined to an
+// earlier one by a single uniformly chosen cross edge. For p above the
+// ln(n)/n connectivity threshold the patch almost never fires and the
+// distribution is essentially G(n, p); below it the result is the natural
+// "G(n, p) plus a spanning forest of shortcuts" initial state the
+// simulation workload wants.
+func RandomConnectedGNP(n int, p float64, rng *rand.Rand) (*Graph, error) {
+	g, err := RandomGNP(n, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	comps := g.Components()
+	for i := 1; i < len(comps); i++ {
+		// Join component i to a uniform node of the already-connected
+		// prefix (components 0..i-1 are merged once their bridge lands).
+		u := comps[i][rng.Intn(len(comps[i]))]
+		prev := comps[rng.Intn(i)]
+		v := prev[rng.Intn(len(prev))]
+		g.insertEdge(u, v)
+	}
+	return g, nil
+}
+
+// RandomStar returns a star on n nodes with a uniformly chosen center.
+func RandomStar(n int, rng *rand.Rand) *Graph {
+	g := New(n)
+	if n < 2 {
+		return g
+	}
+	c := rng.Intn(n)
+	for v := 0; v < n; v++ {
+		if v != c {
+			g.insertEdge(c, v)
+		}
+	}
+	return g
+}
+
 // RandomConnectedGraph returns a connected graph on n nodes with m >= n-1
 // edges: a random spanning tree plus m-(n-1) uniformly chosen extra edges.
 func RandomConnectedGraph(n, m int, rng *rand.Rand) (*Graph, error) {

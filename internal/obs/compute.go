@@ -12,6 +12,13 @@ var certifyBuckets = []float64{
 	1, 2.5, 5, 10, 25, 50, 100, 250,
 }
 
+// trajectoryStepBuckets covers convergence-step counts from toy n up to
+// the 10·n² ceiling at n=500.
+var trajectoryStepBuckets = []float64{
+	1, 2, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000, 25000, 50000, 100000,
+}
+
 // ComputeMetrics bundles the compute-plane instruments exposed by the
 // `-metrics-addr` sidecar of `bncg worker` and `bncg sweep`: classes
 // certified, a certify-latency histogram, cache hit/miss/entry samples,
@@ -28,6 +35,10 @@ type ComputeMetrics struct {
 	ranges         *Counter
 	steals         *Counter
 	leasesLost     *Counter
+
+	trajectories    *CounterVec // by outcome: converged / maxsteps
+	trajectorySteps *Histogram
+	trajectorySecs  *Histogram
 
 	leaseEpoch    atomic.Int64
 	leaseDeadline atomic.Int64 // UnixNano; 0 = no lease held
@@ -54,6 +65,13 @@ func NewComputeMetrics() *ComputeMetrics {
 		"Expired leases stolen from other workers.")
 	m.leasesLost = r.Counter("bncg_worker_leases_lost_total",
 		"Leases lost to epoch fencing mid-range.")
+	m.trajectories = r.CounterVec("bncg_sim_trajectories_total",
+		"Dynamics trajectories finished, by outcome (converged or maxsteps).",
+		"outcome")
+	m.trajectorySteps = r.Histogram("bncg_sim_trajectory_steps",
+		"Improving moves applied per finished trajectory.", trajectoryStepBuckets)
+	m.trajectorySecs = r.Histogram("bncg_sim_trajectory_duration_seconds",
+		"Wall-clock latency of one dynamics trajectory.", certifyBuckets)
 	r.GaugeFunc("bncg_lease_epoch",
 		"Epoch of the currently held lease (0 when idle).",
 		func() float64 { return float64(m.leaseEpoch.Load()) })
@@ -147,6 +165,21 @@ func (m *ComputeMetrics) CertifyObserved(d time.Duration) {
 	}
 	m.certificates.Inc()
 	m.certifySeconds.Observe(d.Seconds())
+}
+
+// TrajectoryObserved records one finished dynamics trajectory for the
+// simulation workload.
+func (m *ComputeMetrics) TrajectoryObserved(steps int, converged bool, d time.Duration) {
+	if m == nil {
+		return
+	}
+	outcome := "maxsteps"
+	if converged {
+		outcome = "converged"
+	}
+	m.trajectories.With(outcome).Inc()
+	m.trajectorySteps.Observe(float64(steps))
+	m.trajectorySecs.Observe(d.Seconds())
 }
 
 // LeaseHeld publishes the held lease's epoch and deadline; stolen marks

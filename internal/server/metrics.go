@@ -22,7 +22,7 @@ import (
 // outside the served API collapse into "other" so an URL-scanning client
 // cannot grow the label space without bound.
 var metricRoutes = []string{
-	"/v1/sweep", "/v1/poa", "/v1/critical", "/v1/check",
+	"/v1/sweep", "/v1/poa", "/v1/critical", "/v1/check", "/v1/simulate",
 	"/healthz", "/metrics", "other",
 }
 

@@ -71,6 +71,16 @@ func TestErrorSchemaEveryEndpoint(t *testing.T) {
 		{"check bad concept", "POST", "/v1/check?alpha=2&concept=ZZ", star, 400},
 		{"check malformed graph", "POST", "/v1/check?alpha=2", "not a graph", 400},
 		{"check graph over cap", "POST", "/v1/check?alpha=2", graph.Encode(game.Star(7)), 422},
+		{"simulate missing n", "GET", "/v1/simulate?alphas=1", "", 400},
+		{"simulate malformed n", "GET", "/v1/simulate?n=one&alphas=1", "", 400},
+		{"simulate n over cap", "GET", "/v1/simulate?n=501&alphas=1", "", 422},
+		{"simulate malformed alpha", "GET", "/v1/simulate?n=10&alphas=1/0", "", 400},
+		{"simulate trajectory cap", "GET", "/v1/simulate?n=10&alphas=1,2&trajectories=2000", "", 422},
+		{"simulate bad init", "GET", "/v1/simulate?n=10&alphas=1&init=clique", "", 400},
+		{"simulate bad moves", "GET", "/v1/simulate?n=10&alphas=1&moves=ne", "", 400},
+		{"simulate bad scheduler", "GET", "/v1/simulate?n=10&alphas=1&scheduler=zigzag", "", 400},
+		{"simulate bad seed", "GET", "/v1/simulate?n=10&alphas=1&seed=-3", "", 400},
+		{"simulate bad p", "GET", "/v1/simulate?n=10&alphas=1&p=1.5", "", 400},
 		{"method not allowed", "GET", "/v1/check?alpha=2", "", 405},
 	} {
 		t.Run(tc.name, func(t *testing.T) {

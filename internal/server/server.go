@@ -25,6 +25,13 @@
 //	     format). Verdicts are served from the canonical-form cache when
 //	     possible; witness=1 forces recomputation so unstable verdicts
 //	     carry a witness move.
+//	GET  /v1/simulate?n=200&alphas=2,100[&trajectories=50][&init=all]
+//	     [&moves=ps|bge][&scheduler=uniform][&seed=7][&p=0.04][&max-steps=0]
+//	     — streams a batch of sampled improving-response dynamics
+//	     trajectories as NDJSON: one header line echoing the resolved
+//	     parameters, one line per trajectory in deterministic index order,
+//	     one per-α summary trailer. The seed makes the stream a pure
+//	     function of the URL (see simulate.go).
 //	GET  /healthz
 //	     — liveness plus cache, store and traffic statistics; "degraded"
 //	     when store flushes are failing.
@@ -85,6 +92,11 @@ type Config struct {
 	// MaxCheckN caps the node count of an uploaded /v1/check graph
 	// (default 128); request bodies are capped at 1 MiB regardless.
 	MaxCheckN int
+	// MaxSimN caps the node count of a /v1/simulate batch (default 500)
+	// and MaxTrajectories its total trajectory count — the product of the
+	// α-grid size and the per-α trajectories (default 2000).
+	MaxSimN         int
+	MaxTrajectories int
 	// RequestTimeout bounds every computation (default 2m). Shared
 	// computations time out as a whole, not per subscriber.
 	RequestTimeout time.Duration
@@ -143,6 +155,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxCheckN <= 0 {
 		c.MaxCheckN = 128
 	}
+	if c.MaxSimN <= 0 {
+		c.MaxSimN = 500
+	}
+	if c.MaxTrajectories <= 0 {
+		c.MaxTrajectories = 2000
+	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 2 * time.Minute
 	}
@@ -197,6 +215,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/poa", s.handlePoA)
 	s.mux.HandleFunc("GET /v1/critical", s.handleCritical)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
+	s.mux.HandleFunc("GET /v1/simulate", s.handleSimulate)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	if cfg.EnablePprof {
@@ -861,13 +880,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SweepsStarted: s.sweeps.startedCount(),
 		Cache:         s.cfg.Cache.Stats(),
 		Limits: map[string]int{
-			"max_n":           s.cfg.MaxN,
-			"max_tree_n":      s.cfg.MaxTreeN,
-			"max_alphas":      s.cfg.MaxAlphas,
-			"max_check_n":     s.cfg.MaxCheckN,
-			"max_inflight":    s.cfg.MaxInflight,
-			"max_queue":       s.cfg.MaxQueue,
-			"request_timeout": int(s.cfg.RequestTimeout.Seconds()),
+			"max_n":            s.cfg.MaxN,
+			"max_tree_n":       s.cfg.MaxTreeN,
+			"max_alphas":       s.cfg.MaxAlphas,
+			"max_check_n":      s.cfg.MaxCheckN,
+			"max_sim_n":        s.cfg.MaxSimN,
+			"max_trajectories": s.cfg.MaxTrajectories,
+			"max_inflight":     s.cfg.MaxInflight,
+			"max_queue":        s.cfg.MaxQueue,
+			"request_timeout":  int(s.cfg.RequestTimeout.Seconds()),
 		},
 	}
 	h.Rejected = s.metrics.rejectedSnapshot()

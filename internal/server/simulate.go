@@ -1,0 +1,249 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"repro/internal/dynamics"
+	"repro/internal/sim"
+	"repro/internal/sweep"
+)
+
+// ndjsonEncoder couples the JSON encoder with the response flusher so
+// every streamed line reaches the client as it is produced.
+type ndjsonEncoder struct {
+	enc *json.Encoder
+	fl  http.Flusher
+}
+
+func newNDJSONEncoder(w http.ResponseWriter) *ndjsonEncoder {
+	fl, _ := w.(http.Flusher)
+	return &ndjsonEncoder{enc: json.NewEncoder(w), fl: fl}
+}
+
+func (e *ndjsonEncoder) encode(v any) error {
+	if err := e.enc.Encode(v); err != nil {
+		return err
+	}
+	if e.fl != nil {
+		e.fl.Flush()
+	}
+	return nil
+}
+
+// GET /v1/simulate — the sampled-dynamics workload: a batch of
+// improving-response trajectories on the incremental-distance engine,
+// streamed as NDJSON in deterministic index order. Unlike /v1/sweep there
+// is no singleflight group: the seed parameterizes every batch, and each
+// trajectory line streams as soon as its index is next, so requests
+// compute inline under the normal admission control and request timeout.
+
+// simHeader is the first NDJSON line: the batch parameters echoed back,
+// so a saved stream is self-describing and replayable.
+type simHeader struct {
+	Type          string   `json:"type"` // "header"
+	SchemaVersion int      `json:"schema_version"`
+	N             int      `json:"n"`
+	Alphas        []string `json:"alphas"`
+	Trajectories  int      `json:"trajectories"`
+	Inits         []string `json:"inits"`
+	Moves         []string `json:"moves"`
+	Scheduler     string   `json:"scheduler"`
+	Seed          uint64   `json:"seed"`
+	MaxSteps      int      `json:"max_steps"`
+	EdgeProb      float64  `json:"edge_prob"`
+	Variant       string   `json:"variant,omitempty"`
+}
+
+// simItemLine wraps one finished trajectory with the NDJSON line type.
+type simItemLine struct {
+	Type string `json:"type"` // "item"
+	sim.Trajectory
+}
+
+// simSummary is the trailer: per-α aggregates plus completion state.
+type simSummary struct {
+	Type      string             `json:"type"` // "summary"
+	Completed bool               `json:"completed"`
+	Delivered int                `json:"delivered"`
+	Summaries []sim.AlphaSummary `json:"summaries"`
+	Error     string             `json:"error,omitempty"`
+}
+
+func (s *Server) handleSimulate(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	n, err := strconv.Atoi(q.Get("n"))
+	if err != nil || n < 2 {
+		writeError(w, badRequest("bad n %q", q.Get("n")))
+		return
+	}
+	if n > s.cfg.MaxSimN {
+		writeError(w, overLimit("n=%d exceeds the server limit %d", n, s.cfg.MaxSimN))
+		return
+	}
+	alphas, err := s.parseAlphas(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	trajectories := 10
+	if t := q.Get("trajectories"); t != "" {
+		trajectories, err = strconv.Atoi(t)
+		if err != nil || trajectories < 1 {
+			writeError(w, badRequest("bad trajectories %q", t))
+			return
+		}
+	}
+	if total := len(alphas) * trajectories; total > s.cfg.MaxTrajectories {
+		writeError(w, overLimit("%d trajectories (alphas × trajectories) exceed the server limit %d",
+			total, s.cfg.MaxTrajectories))
+		return
+	}
+	inits, err := sim.ParseInits(q.Get("init"))
+	if err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+	var kinds []dynamics.Kind
+	switch q.Get("moves") {
+	case "", "ps":
+		kinds = []dynamics.Kind{dynamics.RemoveKind, dynamics.AddKind}
+	case "bge":
+		kinds = []dynamics.Kind{dynamics.RemoveKind, dynamics.AddKind, dynamics.SwapKind}
+	default:
+		writeError(w, badRequest("unknown moves %q (want ps or bge)", q.Get("moves")))
+		return
+	}
+	sched, ok := dynamics.ParseScheduler(q.Get("scheduler"))
+	if !ok {
+		writeError(w, badRequest("unknown scheduler %q", q.Get("scheduler")))
+		return
+	}
+	var seed uint64
+	if v := q.Get("seed"); v != "" {
+		seed, err = strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeError(w, badRequest("bad seed %q", v))
+			return
+		}
+	}
+	var edgeProb float64
+	if v := q.Get("p"); v != "" {
+		edgeProb, err = strconv.ParseFloat(v, 64)
+		if err != nil || edgeProb < 0 || edgeProb > 1 {
+			writeError(w, badRequest("bad edge probability %q", v))
+			return
+		}
+	}
+	maxSteps := 0
+	if v := q.Get("max-steps"); v != "" {
+		maxSteps, err = strconv.Atoi(v)
+		if err != nil || maxSteps < 0 {
+			writeError(w, badRequest("bad max-steps %q", v))
+			return
+		}
+	}
+	variant, err := s.parseVariant(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := variant.Validate(n); err != nil {
+		writeError(w, badRequest("%v", err))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+	defer cancel()
+
+	opts := sim.Options{
+		N:            n,
+		Alphas:       alphas,
+		Trajectories: trajectories,
+		Inits:        inits,
+		Kinds:        kinds,
+		Scheduler:    sched,
+		MaxSteps:     maxSteps,
+		Seed:         seed,
+		EdgeProb:     edgeProb,
+		Workers:      s.cfg.Workers,
+		Variant:      variant,
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no")
+	enc := newNDJSONEncoder(w)
+	// Resolve defaults for the echoed header exactly as Run will.
+	hdrSeed := seed
+	if hdrSeed == 0 {
+		hdrSeed = dynamics.DefaultSeed
+	}
+	hdrSteps := maxSteps
+	if hdrSteps == 0 {
+		hdrSteps = 10 * n * n
+	}
+	hdrProb := edgeProb
+	if hdrProb == 0 {
+		hdrProb = 4 / float64(n)
+	}
+	initNames := make([]string, len(inits))
+	for i, in := range inits {
+		initNames[i] = in.String()
+	}
+	moveNames := make([]string, 0, len(kinds))
+	for _, k := range kinds {
+		switch k {
+		case dynamics.RemoveKind:
+			moveNames = append(moveNames, "remove")
+		case dynamics.AddKind:
+			moveNames = append(moveNames, "add")
+		case dynamics.SwapKind:
+			moveNames = append(moveNames, "swap")
+		}
+	}
+	header := simHeader{
+		Type:          "header",
+		SchemaVersion: sweep.SchemaVersion,
+		N:             n,
+		Alphas:        alphaStrings(alphas),
+		Trajectories:  trajectories,
+		Inits:         initNames,
+		Moves:         moveNames,
+		Scheduler:     sched.String(),
+		Seed:          hdrSeed,
+		MaxSteps:      hdrSteps,
+		EdgeProb:      hdrProb,
+		Variant:       variant.Key(),
+	}
+	if enc.encode(header) != nil {
+		return
+	}
+
+	clientGone := false
+	opts.OnTrajectory = func(tr sim.Trajectory) {
+		if clientGone {
+			return
+		}
+		if enc.encode(simItemLine{Type: "item", Trajectory: tr}) != nil {
+			clientGone = true
+			cancel() // no reader left; stop the workers
+		}
+	}
+
+	res, runErr := sim.Run(ctx, opts)
+	if clientGone {
+		return
+	}
+	summary := simSummary{
+		Type:      "summary",
+		Completed: res.Completed,
+		Delivered: len(res.Items),
+		Summaries: res.Summaries,
+	}
+	if runErr != nil {
+		summary.Error = runErr.Error()
+	}
+	enc.encode(summary)
+}
